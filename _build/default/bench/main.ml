@@ -1,0 +1,223 @@
+(* Benchmark harness: one Bechamel test per paper table/figure, the §V-D
+   speed comparison (FunSeeker vs FETCH), the DESIGN.md ablations, and
+   substrate micro-benchmarks.
+
+   Each table bench measures the per-binary unit of work that the evaluate
+   driver aggregates over the whole corpus; the workload binaries are
+   representative members of the three suites, compiled once up front. *)
+
+open Bechamel
+open Toolkit
+module O = Cet_compiler.Options
+module Reader = Cet_elf.Reader
+module Linear = Cet_disasm.Linear
+module FS = Core.Funseeker
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  w_name : string;
+  w_reader : Reader.t;
+  w_truth : int list;
+}
+
+let build_workload ~name ~profile ~index ~opts =
+  let ir = Cet_corpus.Generator.program ~seed:2022 ~profile ~index in
+  let res = Cet_compiler.Link.link opts ir in
+  let bytes = Cet_elf.Writer.write ~strip:true res.image in
+  {
+    w_name = name;
+    w_reader = Reader.read bytes;
+    w_truth = List.sort_uniq compare (List.map snd res.truth);
+  }
+
+let coreutils_bin =
+  build_workload ~name:"coreutils-gcc-x64-O2" ~profile:Cet_corpus.Profile.coreutils
+    ~index:3 ~opts:O.default
+
+let spec_bin =
+  build_workload ~name:"spec-gcc-x64-O2"
+    ~profile:{ Cet_corpus.Profile.spec with Cet_corpus.Profile.lang_cpp_fraction = 1.0 }
+    ~index:1 ~opts:O.default
+
+let clang_x86_bin =
+  build_workload ~name:"coreutils-clang-x86-O2" ~profile:Cet_corpus.Profile.coreutils
+    ~index:3
+    ~opts:{ O.default with compiler = O.Clang; arch = Cet_x86.Arch.X86; pie = false }
+
+let micro_corpus_profile =
+  {
+    Cet_corpus.Profile.coreutils with
+    Cet_corpus.Profile.suite = "coreutils";
+    programs = 1;
+    funcs_lo = 60;
+    funcs_hi = 80;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+(* Table I: classify every end-branch of a SPEC C++ binary. *)
+let bench_table1 =
+  Test.make ~name:"table1/classify-endbrs(spec)"
+    (stage (fun () -> Core.Study.classify_endbrs spec_bin.w_reader ~truth:spec_bin.w_truth))
+
+(* Figure 3: property classes of every ground-truth function. *)
+let bench_fig3 =
+  Test.make ~name:"fig3/function-props(spec)"
+    (stage (fun () -> Core.Study.function_props spec_bin.w_reader ~truth:spec_bin.w_truth))
+
+(* Table II: the four ablation configurations. *)
+let bench_table2 =
+  List.map
+    (fun (i, config) ->
+      Test.make
+        ~name:(Printf.sprintf "table2/config%d(spec)" i)
+        (stage (fun () -> FS.analyze ~config spec_bin.w_reader)))
+    [ (1, FS.config1); (2, FS.config2); (3, FS.config3); (4, FS.config4) ]
+
+(* Table III: the four tools on the same binary — the paper's speed
+   comparison (§V-D) plus the correctness pipelines. *)
+let bench_table3 =
+  [
+    Test.make ~name:"table3/funseeker(spec)"
+      (stage (fun () -> FS.analyze spec_bin.w_reader));
+    Test.make ~name:"table3/ida-like(spec)"
+      (stage (fun () -> Cet_baselines.Ida_like.analyze spec_bin.w_reader));
+    Test.make ~name:"table3/ghidra-like(spec)"
+      (stage (fun () -> Cet_baselines.Ghidra_like.analyze spec_bin.w_reader));
+    Test.make ~name:"table3/fetch-like(spec)"
+      (stage (fun () -> Cet_baselines.Fetch.analyze spec_bin.w_reader));
+    Test.make ~name:"table3/funseeker(coreutils)"
+      (stage (fun () -> FS.analyze coreutils_bin.w_reader));
+    Test.make ~name:"table3/fetch-like(coreutils)"
+      (stage (fun () -> Cet_baselines.Fetch.analyze coreutils_bin.w_reader));
+    Test.make ~name:"table3/fetch-like(clang-x86)"
+      (stage (fun () -> Cet_baselines.Fetch.analyze clang_x86_bin.w_reader));
+  ]
+
+(* Ablations called out in DESIGN.md. *)
+let bench_ablations =
+  [
+    (* FILTERENDBR on/off: the §V-B precision lever. *)
+    Test.make ~name:"ablation/filter-endbr-off"
+      (stage (fun () -> FS.analyze ~config:FS.config1 spec_bin.w_reader));
+    Test.make ~name:"ablation/filter-endbr-on"
+      (stage (fun () -> FS.analyze ~config:FS.config2 spec_bin.w_reader));
+    (* SELECTTAILCALL vs raw jump harvesting. *)
+    Test.make ~name:"ablation/jmp-targets-raw"
+      (stage (fun () -> FS.analyze ~config:FS.config3 spec_bin.w_reader));
+    Test.make ~name:"ablation/jmp-targets-tailcall"
+      (stage (fun () -> FS.analyze ~config:FS.config4 spec_bin.w_reader));
+    (* FETCH's verification depth (the 5x runtime story). *)
+    Test.make ~name:"ablation/fetch-passes-1"
+      (stage (fun () -> Cet_baselines.Fetch.analyze ~passes:1 spec_bin.w_reader));
+    Test.make ~name:"ablation/fetch-passes-22"
+      (stage (fun () -> Cet_baselines.Fetch.analyze ~passes:22 spec_bin.w_reader));
+  ]
+
+(* ARM BTI extension (SSVI). *)
+let bench_arm =
+  let arm_bin =
+    let ir =
+      Cet_corpus.Generator.program ~seed:2022
+        ~profile:{ Cet_corpus.Profile.spec with Cet_corpus.Profile.lang_cpp_fraction = 1.0 }
+        ~index:1
+    in
+    let res = Cet_arm64.A64_compile.compile Cet_arm64.A64_compile.default_opts ir in
+    Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_arm64.A64_compile.image)
+  in
+  [
+    Test.make ~name:"extension/bti-seeker(spec-arm64)"
+      (stage (fun () -> Cet_arm64.Bti_seeker.analyze arm_bin));
+  ]
+
+(* Downstream consumers and the audit. *)
+let bench_consumers =
+  [
+    Test.make ~name:"consumer/cfg-recover(spec)"
+      (stage (fun () -> Cet_cfg.Cfg.recover spec_bin.w_reader));
+    Test.make ~name:"consumer/ibt-audit(spec)"
+      (stage (fun () -> Core.Audit.audit spec_bin.w_reader));
+    Test.make ~name:"ablation/anchored-sweep(spec)"
+      (stage (fun () -> FS.analyze ~anchored:true spec_bin.w_reader));
+  ]
+
+(* Substrates. *)
+let bench_substrates =
+  let stripped_bytes =
+    Cet_elf.Writer.write ~strip:true
+      (Cet_compiler.Link.link O.default
+         (Cet_corpus.Generator.program ~seed:2022 ~profile:micro_corpus_profile ~index:0))
+        .image
+  in
+  [
+    Test.make ~name:"substrate/linear-sweep(spec)"
+      (stage (fun () -> Linear.sweep_text spec_bin.w_reader));
+    Test.make ~name:"substrate/elf-read"
+      (stage (fun () -> Reader.read stripped_bytes));
+    Test.make ~name:"substrate/eh-frame-decode(spec)"
+      (stage (fun () ->
+           match Reader.find_section spec_bin.w_reader ".eh_frame" with
+           | Some s -> Cet_eh.Eh_frame.decode ~vaddr:s.vaddr s.data
+           | None -> []));
+    Test.make ~name:"substrate/compile+link"
+      (stage (fun () ->
+           Cet_compiler.Link.compile O.default
+             (Cet_corpus.Generator.program ~seed:7 ~profile:micro_corpus_profile ~index:0)));
+  ]
+
+let all_tests =
+  [ bench_table1; bench_fig3 ] @ bench_table2 @ bench_table3 @ bench_ablations
+  @ bench_arm @ bench_consumers @ bench_substrates
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_benchmarks tests =
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+          in
+          (name, ns) :: acc)
+        analyzed [])
+    tests
+
+let human ns =
+  if ns >= 1e6 then Printf.sprintf "%9.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%9.3f us" (ns /. 1e3)
+  else Printf.sprintf "%9.1f ns" ns
+
+let () =
+  Printf.printf "FunSeeker reproduction benchmarks (one per table/figure + ablations)\n";
+  Printf.printf "workloads: %s (%d fns), %s (%d fns), %s (%d fns)\n\n" coreutils_bin.w_name
+    (List.length coreutils_bin.w_truth) spec_bin.w_name (List.length spec_bin.w_truth)
+    clang_x86_bin.w_name
+    (List.length clang_x86_bin.w_truth);
+  let results = run_benchmarks all_tests in
+  List.iter (fun (name, ns) -> Printf.printf "  %-38s %s/run\n" name (human ns)) results;
+  (* §V-D headline: the FunSeeker / FETCH ratio on FDE-carrying binaries. *)
+  let find n = List.assoc n results in
+  (try
+     let fs = find "table3/funseeker(spec)" and fe = find "table3/fetch-like(spec)" in
+     Printf.printf "\nspeedup (spec, per-binary): FunSeeker is %.1fx faster than FETCH-like\n"
+       (fe /. fs);
+     let fs = find "table3/funseeker(coreutils)"
+     and fe = find "table3/fetch-like(coreutils)" in
+     Printf.printf "speedup (coreutils, per-binary): %.1fx\n" (fe /. fs)
+   with Not_found -> ());
+  Printf.printf "\n(use `evaluate all` to regenerate the full tables over the corpus)\n"

@@ -1,0 +1,56 @@
+(* evaluate — regenerate every table and figure of the paper.
+
+   Usage:
+     evaluate all                 # all tables + figure
+     evaluate table1|fig3|table2|table3
+     evaluate --scale 0.25 --seed 2022 all *)
+
+open Cmdliner
+
+let run_eval what seed scale progress =
+  let opts = { Cet_eval.Harness.seed; scale; progress } in
+  let out =
+    match what with
+    | "manual-endbr" ->
+      Cet_eval.Harness.render_manual_endbr (Cet_eval.Harness.manual_endbr_ablation opts)
+    | "extras" -> Cet_eval.Harness.render_related_work (Cet_eval.Harness.related_work opts)
+    | "inline-data" ->
+      Cet_eval.Harness.render_inline_data (Cet_eval.Harness.inline_data opts)
+    | "arm" -> Cet_eval.Harness.render_arm (Cet_eval.Harness.arm_bti opts)
+    | _ ->
+      let results = Cet_eval.Harness.run opts in
+      (match what with
+      | "all" -> Cet_eval.Harness.render_all results
+      | "table1" -> Cet_eval.Tables.Table1.render results.table1
+      | "fig3" -> Cet_eval.Tables.Fig3.render results.fig3
+      | "table2" -> Cet_eval.Tables.Table2.render results.table2
+      | "table3" -> Cet_eval.Tables.Table3.render results.table3
+      | other ->
+        Printf.sprintf
+          "unknown experiment %S (try all|table1|fig3|table2|table3|manual-endbr|extras|inline-data|arm)\n" other)
+  in
+  print_string out
+
+let what =
+  let doc = "Which experiment to regenerate: all, table1, fig3, table2, table3, manual-endbr, extras, inline-data, arm." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let seed =
+  let doc = "Dataset seed (the paper-equivalent corpus is deterministic in it)." in
+  Arg.(value & opt int 2022 & info [ "seed" ] ~doc)
+
+let scale =
+  let doc = "Corpus scale factor: 1.0 reproduces the paper's suite sizes." in
+  Arg.(value & opt float 0.25 & info [ "scale" ] ~doc)
+
+let progress =
+  let doc = "Print a progress dot per 100 binaries to stderr." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the FunSeeker paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc)
+    Term.(const run_eval $ what $ seed $ scale $ progress)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+(* funseeker — identify function entries in a CET-enabled ELF binary.
+
+   Usage: funseeker [--config 1|2|3|4] [--stats] [--truth] FILE *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run file config_no anchored stats with_truth =
+  let bytes = read_file file in
+  let reader = Cet_elf.Reader.read bytes in
+  if Cet_elf.Reader.machine reader = Cet_elf.Consts.em_aarch64 then begin
+    (* BTI-enabled AArch64 binary: route to the ported seeker (SSVI). *)
+    let r = Cet_arm64.Bti_seeker.analyze reader in
+    List.iter (fun addr -> Printf.printf "0x%x\n" addr) r.Cet_arm64.Bti_seeker.functions;
+    if stats then begin
+      Printf.eprintf "aarch64/BTI mode\n";
+      Printf.eprintf "functions: %d\n" (List.length r.functions);
+      Printf.eprintf "bti c markers: %d, bti j markers: %d\n" r.bti_c_total r.bti_j_total;
+      Printf.eprintf "direct call targets: %d (tail calls kept: %d)\n" r.call_target_count
+        r.tail_calls_selected
+    end;
+    exit 0
+  end;
+  if not (Cet_elf.Reader.cet_enabled reader) then
+    prerr_endline "warning: binary does not advertise IBT in .note.gnu.property";
+  let config =
+    match config_no with
+    | 1 -> Core.Funseeker.config1
+    | 2 -> Core.Funseeker.config2
+    | 3 -> Core.Funseeker.config3
+    | _ -> Core.Funseeker.config4
+  in
+  let r = Core.Funseeker.analyze ~config ~anchored reader in
+  List.iter (fun addr -> Printf.printf "0x%x\n" addr) r.Core.Funseeker.functions;
+  if stats then begin
+    Printf.eprintf "functions: %d\n" (List.length r.functions);
+    Printf.eprintf "endbr instructions: %d\n" r.endbr_total;
+    Printf.eprintf "  filtered (indirect-return sites): %d\n" r.filtered_indirect_return;
+    Printf.eprintf "  filtered (landing pads): %d\n" r.filtered_landing_pads;
+    Printf.eprintf "direct call targets: %d\n" r.call_target_count;
+    Printf.eprintf "direct jump targets: %d (tail calls kept: %d)\n" r.jump_target_count
+      r.tail_calls_selected;
+    Printf.eprintf "linear-sweep resyncs: %d\n" r.resync_errors
+  end;
+  if with_truth then begin
+    let truth = Cet_eval.Ground_truth.from_symbols reader in
+    if truth = [] then prerr_endline "no ground truth: binary is stripped"
+    else begin
+      let addrs = Cet_eval.Ground_truth.addresses truth in
+      let c = Cet_eval.Metrics.compare_sets ~truth:addrs ~found:r.functions in
+      Printf.eprintf "vs symbols: precision %.3f%%, recall %.3f%% (tp=%d fp=%d fn=%d)\n"
+        (Cet_eval.Metrics.precision c) (Cet_eval.Metrics.recall c) c.tp c.fp c.fn
+    end
+  end
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let config_no =
+  let doc = "Ablation configuration (1-4, Table II); 4 is full FunSeeker." in
+  Arg.(value & opt int 4 & info [ "config" ] ~doc)
+
+let anchored =
+  let doc = "Use the end-branch-anchored sweep (robust to inline data, SSVI)." in
+  Arg.(value & flag & info [ "anchored" ] ~doc)
+
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print analysis statistics to stderr.")
+
+let with_truth =
+  Arg.(value & flag & info [ "truth" ] ~doc:"Compare against .symtab ground truth.")
+
+let cmd =
+  let doc = "FunSeeker: function identification for CET-enabled binaries" in
+  Cmd.v (Cmd.info "funseeker" ~doc) Term.(const run $ file $ config_no $ anchored $ stats $ with_truth)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,62 @@
+(* inspect — dump the analysis-relevant structure of an ELF binary:
+   sections, symbols, PLT map, FDEs, LSDAs, and a .text disassembly
+   summary. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run file disasm =
+  let reader = Cet_elf.Reader.read (read_file file) in
+  let arch = Cet_elf.Reader.arch reader in
+  Printf.printf "arch: %s  type: %s  entry: 0x%x  cet: %b\n"
+    (Cet_x86.Arch.to_string arch)
+    (if Cet_elf.Reader.pie reader then "DYN (PIE)" else "EXEC")
+    (Cet_elf.Reader.entry reader)
+    (Cet_elf.Reader.cet_enabled reader);
+  print_endline "sections:";
+  List.iter
+    (fun (s : Cet_elf.Reader.section) ->
+      Printf.printf "  %-20s vaddr=0x%-8x size=%d\n" s.name s.vaddr s.size)
+    (Cet_elf.Reader.sections reader);
+  let syms = Cet_elf.Reader.symbols reader in
+  Printf.printf "symbols: %d\n" (List.length syms);
+  List.iter
+    (fun (s : Cet_elf.Symbol.t) ->
+      if s.kind = Cet_elf.Symbol.Func then
+        Printf.printf "  0x%-8x %5d %s\n" s.value s.size s.name)
+    syms;
+  let relocs = Cet_elf.Reader.plt_relocs reader in
+  Printf.printf "plt imports: %d\n" (List.length relocs);
+  List.iter (fun (slot, name) -> Printf.printf "  got slot 0x%x -> %s\n" slot name) relocs;
+  (match Cet_elf.Reader.find_section reader ".eh_frame" with
+  | Some s ->
+    let frames = Cet_eh.Eh_frame.decode ~vaddr:s.vaddr s.data in
+    Printf.printf "fdes: %d\n" (List.length frames);
+    List.iter
+      (fun (f : Cet_eh.Eh_frame.frame) ->
+        Printf.printf "  pc=0x%x..0x%x%s\n" f.pc_begin (f.pc_begin + f.pc_range)
+          (match f.lsda with None -> "" | Some l -> Printf.sprintf " lsda=0x%x" l))
+      frames
+  | None -> print_endline "no .eh_frame");
+  if disasm then begin
+    match Cet_elf.Reader.find_section reader ".text" with
+    | None -> print_endline "no .text"
+    | Some s ->
+      let listing = Cet_x86.Exact.disassemble_all arch s.data ~base:s.vaddr in
+      Printf.printf ".text disassembly (%d instructions):\n" (List.length listing);
+      List.iter (fun (addr, text) -> Printf.printf "  0x%-8x %s\n" addr text) listing
+  end
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Dump the instruction stream.")
+
+let cmd =
+  let doc = "dump ELF / exception-handling structure" in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file $ disasm)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,90 @@
+(* synthcc — compile a synthetic corpus program into a CET-enabled ELF.
+
+   Usage:
+     synthcc --suite coreutils --index 3 --compiler gcc --arch x64 \
+             --opt O2 --pie -o prog.elf *)
+
+open Cmdliner
+module Options = Cet_compiler.Options
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let run suite index seed compiler arch opt pie strip out =
+  let profile =
+    match suite with
+    | "coreutils" -> Cet_corpus.Profile.coreutils
+    | "binutils" -> Cet_corpus.Profile.binutils
+    | "spec" -> Cet_corpus.Profile.spec
+    | s -> failwith ("unknown suite " ^ s)
+  in
+  if arch = "arm64" || arch = "aarch64" then begin
+    (* SSVI extension path: BTI-enabled AArch64. *)
+    let ir = Cet_corpus.Generator.program ~seed ~profile ~index in
+    let res = Cet_arm64.A64_compile.compile Cet_arm64.A64_compile.default_opts ir in
+    let bytes = Cet_elf.Writer.write ~strip res.Cet_arm64.A64_compile.image in
+    write_file out bytes;
+    Printf.printf "%s: %d bytes, %d functions, entry 0x%x (aarch64-bti)\n" out
+      (String.length bytes)
+      (List.length res.Cet_arm64.A64_compile.truth)
+      res.Cet_arm64.A64_compile.image.Cet_elf.Image.entry;
+    exit 0
+  end;
+  let compiler =
+    match compiler with
+    | "gcc" -> Options.Gcc
+    | "clang" -> Options.Clang
+    | c -> failwith ("unknown compiler " ^ c)
+  in
+  let arch =
+    match arch with
+    | "x86" -> Cet_x86.Arch.X86
+    | "x64" | "x86-64" -> Cet_x86.Arch.X64
+    | a -> failwith ("unknown arch " ^ a)
+  in
+  let opt =
+    match opt with
+    | "O0" -> Options.O0
+    | "O1" -> Options.O1
+    | "O2" -> Options.O2
+    | "O3" -> Options.O3
+    | "Os" -> Options.Os
+    | "Ofast" -> Options.Ofast
+    | o -> failwith ("unknown optimisation level " ^ o)
+  in
+  let opts =
+    {
+      Options.compiler;
+      arch;
+      pie;
+      opt;
+      cf_protection = Options.Cf_full;
+      jump_tables_in_text = false;
+    }
+  in
+  let ir = Cet_corpus.Generator.program ~seed ~profile ~index in
+  let res = Cet_compiler.Link.link opts ir in
+  let bytes = Cet_elf.Writer.write ~strip res.image in
+  write_file out bytes;
+  Printf.printf "%s: %d bytes, %d functions, entry 0x%x (%s)\n" out
+    (String.length bytes) (List.length res.truth)
+    res.image.Cet_elf.Image.entry (Options.to_string opts)
+
+let suite = Arg.(value & opt string "coreutils" & info [ "suite" ] ~doc:"coreutils|binutils|spec")
+let index = Arg.(value & opt int 0 & info [ "index" ] ~doc:"Program index within the suite.")
+let seed = Arg.(value & opt int 2022 & info [ "seed" ] ~doc:"Corpus seed.")
+let compiler = Arg.(value & opt string "gcc" & info [ "compiler" ] ~doc:"gcc|clang")
+let arch = Arg.(value & opt string "x64" & info [ "arch" ] ~doc:"x86|x64|arm64")
+let opt_level = Arg.(value & opt string "O2" & info [ "opt" ] ~doc:"O0|O1|O2|O3|Os|Ofast")
+let pie = Arg.(value & flag & info [ "pie" ] ~doc:"Produce a position-independent executable.")
+let strip = Arg.(value & flag & info [ "strip" ] ~doc:"Strip the symbol table.")
+let out = Arg.(value & opt string "a.out" & info [ "o"; "output" ] ~doc:"Output path.")
+
+let cmd =
+  let doc = "synthetic CET-enabled compiler driver" in
+  Cmd.v (Cmd.info "synthcc" ~doc)
+    Term.(
+      const run $ suite $ index $ seed $ compiler $ arch $ opt_level $ pie $ strip $ out)
+
+let () = exit (Cmd.eval cmd)

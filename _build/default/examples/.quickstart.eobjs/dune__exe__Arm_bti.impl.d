@@ -1,0 +1,1 @@
+examples/arm_bti.ml: Cet_arm64 Cet_compiler Cet_corpus Cet_elf Cet_eval List Printf

@@ -1,0 +1,1 @@
+examples/cfg_recovery.ml: Cet_cfg Cet_compiler Cet_corpus Cet_elf Filename List Printf String

@@ -1,0 +1,1 @@
+examples/coreutils_scenario.ml: Cet_baselines Cet_compiler Cet_corpus Cet_elf Cet_eval Cet_x86 Core Hashtbl List Option Printf

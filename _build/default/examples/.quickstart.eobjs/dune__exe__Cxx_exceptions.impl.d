@@ -1,0 +1,1 @@
+examples/cxx_exceptions.ml: Array Cet_compiler Cet_disasm Cet_elf Cet_eval Cet_x86 Core List Printf

@@ -1,0 +1,1 @@
+examples/cxx_exceptions.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cet_compiler Cet_elf Cet_eval Core List Printf String

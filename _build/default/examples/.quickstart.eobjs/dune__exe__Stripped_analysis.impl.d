@@ -1,0 +1,1 @@
+examples/stripped_analysis.ml: Cet_compiler Cet_corpus Cet_elf Cet_eval Core List Printf String

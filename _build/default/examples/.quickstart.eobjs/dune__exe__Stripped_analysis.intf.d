@@ -1,0 +1,1 @@
+examples/stripped_analysis.mli:

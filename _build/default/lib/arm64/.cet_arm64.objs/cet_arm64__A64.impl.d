@@ -1,0 +1,1 @@
+lib/arm64/a64.ml: Bytes Char Int32 List String

@@ -1,0 +1,1 @@
+lib/arm64/a64.mli:

@@ -1,0 +1,1 @@
+lib/arm64/a64_compile.ml: A64 Buffer Cet_compiler Cet_eh Cet_elf Cet_util Cet_x86 Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/arm64/a64_compile.mli: Cet_compiler Cet_elf

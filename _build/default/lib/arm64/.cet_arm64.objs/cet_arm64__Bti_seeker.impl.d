@@ -1,0 +1,1 @@
+lib/arm64/bti_seeker.ml: A64 Cet_elf Core List

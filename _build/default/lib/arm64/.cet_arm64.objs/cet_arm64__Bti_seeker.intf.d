@@ -1,0 +1,1 @@
+lib/arm64/bti_seeker.mli: Cet_elf

@@ -1,0 +1,403 @@
+module Ir = Cet_compiler.Ir
+module Image = Cet_elf.Image
+module Consts = Cet_elf.Consts
+module Symbol = Cet_elf.Symbol
+module W = Cet_util.Bytesio.W
+
+type opts = { bti : bool; tail_calls : bool }
+
+let default_opts = { bti = true; tail_calls = true }
+
+type result = { image : Image.t; truth : (string * int) list }
+
+(* ------------------------------------------------------------------ *)
+(* Tiny fixed-width assembler                                         *)
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | Label of string
+  | I of A64.t
+  | Bl_lbl of string
+  | B_lbl of string
+  | Cbnz_lbl of int * string
+  | Adrp_add of int * string  (** materialise a label address: adrp + add *)
+  | Align16
+
+let item_size ~addr = function
+  | Label _ -> 0
+  | I _ | Bl_lbl _ | B_lbl _ | Cbnz_lbl _ -> 4
+  | Adrp_add _ -> 8
+  | Align16 -> (16 - (addr land 15)) land 15
+
+let measure ~base items =
+  let addr = ref base in
+  let labels = Hashtbl.create 256 in
+  List.iter
+    (fun item ->
+      (match item with Label l -> Hashtbl.replace labels l !addr | _ -> ());
+      addr := !addr + item_size ~addr:!addr item)
+    items;
+  (!addr - base, labels)
+
+let assemble ~base ~resolve items =
+  let _, labels = measure ~base items in
+  let find l =
+    match Hashtbl.find_opt labels l with Some a -> a | None -> resolve l
+  in
+  let buf = Buffer.create 4096 in
+  let addr () = base + Buffer.length buf in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | I ins -> Buffer.add_string buf (A64.encode_bytes ins)
+      | Bl_lbl l -> Buffer.add_string buf (A64.encode_bytes (A64.Bl (find l - addr ())))
+      | B_lbl l -> Buffer.add_string buf (A64.encode_bytes (A64.B (find l - addr ())))
+      | Cbnz_lbl (r, l) ->
+        Buffer.add_string buf (A64.encode_bytes (A64.Cbnz (r, find l - addr ())))
+      | Adrp_add (r, l) ->
+        let target = find l in
+        let page_disp = (target land lnot 0xFFF) - (addr () land lnot 0xFFF) in
+        Buffer.add_string buf (A64.encode_bytes (A64.Adrp (r, page_disp)));
+        Buffer.add_string buf (A64.encode_bytes (A64.Add_imm (r, r, target land 0xFFF)))
+      | Align16 ->
+        while addr () land 15 <> 0 do
+          Buffer.add_string buf (A64.encode_bytes A64.Nop)
+        done)
+    items;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let plt_label n = "plt$" ^ n
+
+type fctx = {
+  opts : opts;
+  fname : string;
+  mutable counter : int;
+  mutable rolling : int;
+  mutable rev_items : item list;
+  mutable rev_tail : item list;
+  mutable sites : (string * string * string) list;  (* try_start, try_end, lp *)
+  mutable tables : (string * string list) list;
+}
+
+let fresh ctx tag =
+  let n = ctx.counter in
+  ctx.counter <- n + 1;
+  Printf.sprintf "%s$%s%d" ctx.fname tag n
+
+let roll ctx bound =
+  ctx.rolling <- (ctx.rolling * 1103515245) + 12345 land 0x3FFFFFFF;
+  (ctx.rolling lsr 7) mod bound
+
+let emit ctx i = ctx.rev_items <- i :: ctx.rev_items
+let emit_tail ctx i = ctx.rev_tail <- i :: ctx.rev_tail
+
+let filler ctx n =
+  for _ = 1 to n do
+    emit ctx
+      (I
+         (match roll ctx 3 with
+         | 0 -> A64.Movz (roll ctx 8, roll ctx 4096)
+         | 1 -> A64.Add_imm (roll ctx 8, roll ctx 8, roll ctx 256)
+         | _ -> A64.Nop))
+  done
+
+let rec lower_stmt ctx (epilogue : item list) stmt =
+  match stmt with
+  | Ir.Compute n -> filler ctx n
+  | Ir.Call (Ir.Local f) -> emit ctx (Bl_lbl f)
+  | Ir.Call (Ir.Import i) -> emit ctx (Bl_lbl (plt_label i))
+  | Ir.Call_via_pointer f ->
+    emit ctx (Adrp_add (16, f));
+    emit ctx (I (A64.Blr 16))
+  | Ir.Store_fn_pointer f -> emit ctx (Adrp_add (0, f))
+  | Ir.Indirect_return_call s ->
+    (* AArch64 setjmp returns through ret under pointer authentication: no
+       jump marker is required after the call site. *)
+    emit ctx (Bl_lbl (plt_label s))
+  | Ir.If_else (a, b) ->
+    if b = [] then begin
+      let join = fresh ctx "j" in
+      emit ctx (Cbnz_lbl (0, join));
+      lower_stmts ctx epilogue a;
+      emit ctx (Label join)
+    end
+    else begin
+      let lelse = fresh ctx "e" and join = fresh ctx "j" in
+      emit ctx (Cbnz_lbl (0, lelse));
+      lower_stmts ctx epilogue a;
+      emit ctx (B_lbl join);
+      emit ctx (Label lelse);
+      lower_stmts ctx epilogue b;
+      emit ctx (Label join)
+    end
+  | Ir.Loop body ->
+    let lb = fresh ctx "lb" in
+    emit ctx (I (A64.Movz (1, 1 + roll ctx 64)));
+    emit ctx (Label lb);
+    lower_stmts ctx epilogue body;
+    emit ctx (Cbnz_lbl (1, lb))
+  | Ir.Switch cases ->
+    let jt = fresh ctx "jt" in
+    let ldef = fresh ctx "sd" and lend = fresh ctx "sw" in
+    let case_labels = List.mapi (fun i _ -> Printf.sprintf "%s$c%d" jt i) cases in
+    emit ctx (Cbnz_lbl (0, ldef));
+    emit ctx (Adrp_add (17, jt));
+    emit ctx (I (A64.Br 17));
+    List.iter2
+      (fun l case ->
+        emit ctx (Label l);
+        (* br is tracked on AArch64: every case label carries bti j. *)
+        if ctx.opts.bti then emit ctx (I (A64.Bti A64.Bti_j));
+        lower_stmts ctx epilogue case;
+        emit ctx (B_lbl lend))
+      case_labels cases;
+    emit ctx (Label ldef);
+    filler ctx 1;
+    emit ctx (Label lend);
+    ctx.tables <- (jt, case_labels) :: ctx.tables
+  | Ir.Try_catch (body, handlers) ->
+    let ts = fresh ctx "ts" and te = fresh ctx "te" in
+    let cont = fresh ctx "tc" and lp = fresh ctx "lp" in
+    emit ctx (Label ts);
+    lower_stmts ctx epilogue body;
+    emit ctx (Label te);
+    emit ctx (Label cont);
+    emit_tail ctx (Label lp);
+    (* The unwinder enters through br: landing pads are bti j, not c. *)
+    if ctx.opts.bti then emit_tail ctx (I (A64.Bti A64.Bti_j));
+    emit_tail ctx (Bl_lbl (plt_label "__cxa_begin_catch"));
+    List.iter
+      (fun h ->
+        let saved = ctx.rev_items in
+        ctx.rev_items <- [];
+        lower_stmts ctx epilogue h;
+        let items = List.rev ctx.rev_items in
+        ctx.rev_items <- saved;
+        List.iter (emit_tail ctx) items)
+      (match handlers with [] -> [] | h :: _ -> [ h ]);
+    emit_tail ctx (Bl_lbl (plt_label "__cxa_end_catch"));
+    emit_tail ctx (B_lbl cont);
+    ctx.sites <- (ts, te, lp) :: ctx.sites
+  | Ir.Tail_call_site f ->
+    if ctx.opts.tail_calls then begin
+      let skip = fresh ctx "nt" in
+      emit ctx (Cbnz_lbl (0, skip));
+      List.iter (emit ctx) epilogue;
+      emit ctx (B_lbl f);
+      emit ctx (Label skip)
+    end
+    else emit ctx (Bl_lbl f)
+  | Ir.Jump_to_part f ->
+    (* No hot/cold splitting in the ARM backend. *)
+    emit ctx (Bl_lbl f)
+
+and lower_stmts ctx epilogue stmts = List.iter (lower_stmt ctx epilogue) stmts
+
+let wants_bti opts (f : Ir.func) =
+  opts.bti && (not f.no_endbr)
+  && (f.linkage = Ir.Exported || f.address_taken || f.name = "main")
+
+let rec has_calls stmts =
+  List.exists
+    (fun s ->
+      match s with
+      | Ir.Call _ | Ir.Call_via_pointer _ | Ir.Indirect_return_call _
+      | Ir.Tail_call_site _ | Ir.Jump_to_part _ | Ir.Try_catch _ ->
+        true
+      | Ir.Compute _ | Ir.Store_fn_pointer _ -> false
+      | Ir.If_else (a, b) -> has_calls a || has_calls b
+      | Ir.Loop b -> has_calls b
+      | Ir.Switch cs -> List.exists has_calls cs)
+    stmts
+
+let lower_function opts (f : Ir.func) =
+  let ctx =
+    {
+      opts;
+      fname = f.name;
+      counter = 0;
+      rolling = Hashtbl.hash f.name land 0xFFFFFF;
+      rev_items = [];
+      rev_tail = [];
+      sites = [];
+      tables = [];
+    }
+  in
+  let framed = has_calls (Ir.func_stmts f) in
+  let epilogue = if framed then [ I (A64.Ldp_fp_lr 16) ] else [] in
+  emit ctx Align16;
+  emit ctx (Label f.name);
+  if wants_bti opts f then emit ctx (I (A64.Bti A64.Bti_c));
+  if framed then emit ctx (I (A64.Stp_fp_lr 16));
+  lower_stmts ctx epilogue (Ir.func_stmts f);
+  List.iter (emit ctx) epilogue;
+  emit ctx (I A64.Ret);
+  List.iter (emit ctx) (List.rev ctx.rev_tail);
+  emit ctx (Label (f.name ^ "$end"));
+  (List.rev ctx.rev_items, List.rev ctx.sites, List.rev ctx.tables)
+
+let compile opts (p : Ir.program) =
+  (match Ir.validate p with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("A64_compile.compile: " ^ e));
+  let imports = "__libc_start_main" :: Ir.collect_imports p in
+  let base = 0x10000 in
+  let plt_vaddr = base in
+  let plt_entry = 16 in
+  let plt_size = plt_entry * (List.length imports + 1) in
+  let text_vaddr = plt_vaddr + plt_size in
+  (* _start *)
+  let start_items =
+    [ Align16; Label "_start" ]
+    @ (if opts.bti then [ I (A64.Bti A64.Bti_c) ] else [])
+    @ [
+        Adrp_add (0, "main");
+        Bl_lbl (plt_label "__libc_start_main");
+        I A64.Udf;
+        Label "_start$end";
+      ]
+  in
+  let lowered = List.map (lower_function opts) p.funcs in
+  let all_items = start_items @ List.concat_map (fun (i, _, _) -> i) lowered in
+  let text_size, labels = measure ~base:text_vaddr all_items in
+  let addr_of l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> invalid_arg ("A64_compile: undefined label " ^ l)
+  in
+  let plt_entries =
+    List.mapi (fun i n -> (n, plt_vaddr + ((i + 1) * plt_entry))) imports
+  in
+  (* Jump tables (.rodata): absolute 8-byte entries. *)
+  let tables = List.concat_map (fun (_, _, t) -> t) lowered in
+  let rodata_vaddr = (text_vaddr + text_size + 15) / 16 * 16 in
+  let rodata = W.create () in
+  let table_addrs =
+    List.map
+      (fun (label, cases) ->
+        let off = W.length rodata in
+        List.iter (fun c -> W.u64 rodata (addr_of c)) cases;
+        (label, rodata_vaddr + off))
+      tables
+  in
+  (* LSDAs + FDEs, same DWARF formats as the x86 pipeline. *)
+  let func_extents =
+    List.map (fun (f : Ir.func) -> (f.name, addr_of f.name, addr_of (f.name ^ "$end"))) p.funcs
+  in
+  let lsda_specs =
+    List.concat
+      (List.map2
+         (fun (f : Ir.func) (_, sites, _) ->
+           if sites = [] then []
+           else
+             let fstart = addr_of f.name in
+             [ ( f.name,
+                 {
+                   Cet_eh.Lsda.call_sites =
+                     List.map
+                       (fun (ts, te, lp) ->
+                         {
+                           Cet_eh.Lsda.cs_start = addr_of ts - fstart;
+                           cs_len = addr_of te - addr_of ts;
+                           cs_landing_pad = addr_of lp - fstart;
+                           cs_action = 1;
+                         })
+                       sites;
+                   type_count = 1;
+                 } ) ])
+         p.funcs lowered)
+  in
+  let except_table, lsda_offsets = Cet_eh.Lsda.build_table (List.map snd lsda_specs) in
+  let eh_frame_vaddr = (rodata_vaddr + W.length rodata + 7) / 8 * 8 in
+  let lsda_of =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i (name, _) -> Hashtbl.replace tbl name (List.nth lsda_offsets i)) lsda_specs;
+    fun name gev -> Option.map (fun off -> gev + off) (Hashtbl.find_opt tbl name)
+  in
+  let frames_for gev =
+    ( "_start", addr_of "_start", addr_of "_start$end" )
+    :: func_extents
+    |> List.map (fun (name, lo, hi) ->
+           { Cet_eh.Eh_frame.pc_begin = lo; pc_range = hi - lo; lsda = lsda_of name gev })
+  in
+  let personality =
+    match List.assoc_opt "__gxx_personality_v0" plt_entries with Some a -> a | None -> 0
+  in
+  let probe = Cet_eh.Eh_frame.encode ~vaddr:eh_frame_vaddr ~personality (frames_for 0) in
+  let gev = (eh_frame_vaddr + String.length probe + 3) / 4 * 4 in
+  let eh_frame = Cet_eh.Eh_frame.encode ~vaddr:eh_frame_vaddr ~personality (frames_for gev) in
+  (* Text assembly. *)
+  let resolve l =
+    if String.length l > 4 && String.sub l 0 4 = "plt$" then
+      match List.assoc_opt (String.sub l 4 (String.length l - 4)) plt_entries with
+      | Some a -> a
+      | None -> invalid_arg ("A64_compile: unknown import " ^ l)
+    else
+      match List.assoc_opt l table_addrs with
+      | Some a -> a
+      | None -> invalid_arg ("A64_compile: unresolved " ^ l)
+  in
+  let text = assemble ~base:text_vaddr ~resolve all_items in
+  (* PLT: bti c + indirect jump per entry. *)
+  let plt = W.create () in
+  for _ = 0 to List.length imports do
+    if opts.bti then W.bytes plt (A64.encode_bytes (A64.Bti A64.Bti_c))
+    else W.bytes plt (A64.encode_bytes A64.Nop);
+    W.bytes plt (A64.encode_bytes A64.Nop);
+    W.bytes plt (A64.encode_bytes (A64.Br 16));
+    W.bytes plt (A64.encode_bytes A64.Nop)
+  done;
+  let got_vaddr = (gev + String.length except_table + 7) / 8 * 8 in
+  let exec = Consts.shf_alloc lor Consts.shf_execinstr in
+  let rw = Consts.shf_alloc lor Consts.shf_write in
+  let sections =
+    [
+      Image.section ~name:".plt" ~vaddr:plt_vaddr ~flags:exec ~addralign:16 (W.contents plt);
+      Image.section ~name:".text" ~vaddr:text_vaddr ~flags:exec ~addralign:16 text;
+    ]
+    @ (if W.length rodata = 0 then []
+       else [ Image.section ~name:".rodata" ~vaddr:rodata_vaddr ~addralign:16 (W.contents rodata) ])
+    @ [ Image.section ~name:".eh_frame" ~vaddr:eh_frame_vaddr ~addralign:8 eh_frame ]
+    @ (if except_table = "" then []
+       else [ Image.section ~name:".gcc_except_table" ~vaddr:gev ~addralign:4 except_table ])
+    @ [
+        Image.section ~name:".got.plt" ~vaddr:got_vaddr ~flags:rw ~addralign:8
+          (String.make ((3 + List.length imports) * 8) '\x00');
+      ]
+  in
+  let truth =
+    ("_start", addr_of "_start")
+    :: List.map (fun (f : Ir.func) -> (f.name, addr_of f.name)) p.funcs
+  in
+  let symbols =
+    List.map
+      (fun (name, a) ->
+        {
+          Symbol.name;
+          value = a;
+          size = 0;
+          kind = Symbol.Func;
+          bind = Symbol.Global;
+          section = Some ".text";
+        })
+      truth
+  in
+  let image =
+    {
+      Image.arch = Cet_x86.Arch.X64;
+      machine = Some Consts.em_aarch64;
+      pie = true;
+      cet_note = false;
+      entry = addr_of "_start";
+      sections;
+      symbols;
+      dynsyms = List.map Symbol.undef_func imports;
+      plt_relocs = List.mapi (fun i n -> (got_vaddr + ((3 + i) * 8), n)) imports;
+    }
+  in
+  { image; truth }

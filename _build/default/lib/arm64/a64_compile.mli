@@ -1,0 +1,35 @@
+(** Mini AArch64 backend for the §VI extension: lowers the same {!Ir}
+    programs the x86 compiler consumes into BTI-enabled ARM64 ELF images.
+
+    BTI placement follows GCC's [-mbranch-protection=bti]:
+
+    - [bti c] at the entry of every exported or address-taken function
+      (valid [blr]/call target) — the analogue of the end-branch rule;
+    - [bti j] at jump-table case labels (AArch64 has no NOTRACK: [br] is
+      always tracked) and at exception landing pads.
+
+    The [c]/[j] distinction does architecturally what FILTERENDBR does by
+    analysis on x86: catch blocks and switch cases are marked as *jump*
+    targets, never as call targets, so harvesting [bti c] alone yields no
+    landing-pad false positives.
+
+    Scope notes (documented substitutions): no hot/cold splitting (GCC
+    aarch64 splits too, but the paper's FP analysis is x86-specific), no
+    indirect-return markers ([setjmp] returns via [ret] under PAC), and a
+    single ILP64 code model. *)
+
+type opts = {
+  bti : bool;  (** [-mbranch-protection=bti] (standard); [false] = legacy *)
+  tail_calls : bool;
+}
+
+val default_opts : opts
+
+type result = {
+  image : Cet_elf.Image.t;
+  truth : (string * int) list;  (** function entries *)
+}
+
+val compile : opts -> Cet_compiler.Ir.program -> result
+(** Raises [Invalid_argument] if {!Cet_compiler.Ir.validate} rejects the
+    program. *)

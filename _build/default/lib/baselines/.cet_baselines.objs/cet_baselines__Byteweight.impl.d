@@ -1,0 +1,1 @@
+lib/baselines/byteweight.ml: Array Cet_disasm Cet_elf Cet_x86 Char Hashtbl List String

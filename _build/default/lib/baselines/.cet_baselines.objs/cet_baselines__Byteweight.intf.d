@@ -1,0 +1,1 @@
+lib/baselines/byteweight.mli: Cet_elf

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Cet_disasm Cet_eh Cet_elf Cet_util Cet_x86 Char Hashtbl List Queue String

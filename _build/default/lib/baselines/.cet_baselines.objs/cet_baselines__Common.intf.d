@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Cet_disasm Cet_elf Cet_x86 Hashtbl

@@ -1,0 +1,1 @@
+lib/baselines/fetch.ml: Array Cet_disasm Cet_elf Common List

@@ -1,0 +1,1 @@
+lib/baselines/fetch.mli: Cet_elf

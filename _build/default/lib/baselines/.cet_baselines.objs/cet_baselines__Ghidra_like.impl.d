@@ -1,0 +1,1 @@
+lib/baselines/ghidra_like.ml: Cet_disasm Cet_elf Cet_x86 Common List

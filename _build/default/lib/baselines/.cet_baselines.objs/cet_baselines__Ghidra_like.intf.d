@@ -1,0 +1,1 @@
+lib/baselines/ghidra_like.mli: Cet_elf

@@ -1,0 +1,1 @@
+lib/baselines/ida_like.ml: Array Cet_disasm Cet_elf Cet_x86 Common List

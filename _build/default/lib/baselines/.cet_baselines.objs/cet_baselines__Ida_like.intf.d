@@ -1,0 +1,1 @@
+lib/baselines/ida_like.mli: Cet_elf

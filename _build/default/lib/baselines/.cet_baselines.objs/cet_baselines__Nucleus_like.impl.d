@@ -1,0 +1,1 @@
+lib/baselines/nucleus_like.ml: Array Cet_disasm Cet_elf Cet_x86 Char Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/baselines/nucleus_like.mli: Cet_elf

@@ -1,0 +1,87 @@
+module Linear = Cet_disasm.Linear
+
+let max_depth = 8
+
+(* A node holds, for the byte path leading to it, how many times it was
+   seen at a function start (pos) vs elsewhere (neg). *)
+type node = {
+  mutable pos : int;
+  mutable neg : int;
+  children : (int, node) Hashtbl.t;
+}
+
+type model = node
+
+let new_node () = { pos = 0; neg = 0; children = Hashtbl.create 4 }
+
+let add_sequence root code off ~positive =
+  let node = ref root in
+  (try
+     for d = 0 to max_depth - 1 do
+       if off + d >= String.length code then raise Exit;
+       let b = Char.code code.[off + d] in
+       let child =
+         match Hashtbl.find_opt !node.children b with
+         | Some c -> c
+         | None ->
+           let c = new_node () in
+           Hashtbl.replace !node.children b c;
+           c
+       in
+       if positive then child.pos <- child.pos + 1 else child.neg <- child.neg + 1;
+       node := child
+     done
+   with Exit -> ());
+  ()
+
+let train corpus =
+  let root = new_node () in
+  List.iter
+    (fun (reader, entries) ->
+      match Cet_elf.Reader.find_section reader ".text" with
+      | None -> ()
+      | Some text ->
+        let entry_set = Hashtbl.create (List.length entries) in
+        List.iter (fun a -> Hashtbl.replace entry_set a ()) entries;
+        let sweep = Linear.sweep_text reader in
+        Array.iteri
+          (fun idx (i : Cet_x86.Decoder.ins) ->
+            let off = i.addr - text.vaddr in
+            if Hashtbl.mem entry_set i.addr then add_sequence root text.data off ~positive:true
+            else if idx land 3 = 0 then
+              (* Sample a quarter of the non-entry boundaries as negatives:
+                 keeps class balance workable, like the original's
+                 ~10:1 corpus sampling. *)
+              add_sequence root text.data off ~positive:false)
+          sweep.insns)
+    corpus;
+  root
+
+let score root code ~off =
+  (* Walk as deep as the tree has evidence; score at the deepest node with
+     any counts. *)
+  let node = ref root in
+  let best = ref 0.5 in
+  (try
+     for d = 0 to max_depth - 1 do
+       if off + d >= String.length code then raise Exit;
+       let b = Char.code code.[off + d] in
+       match Hashtbl.find_opt !node.children b with
+       | None -> raise Exit
+       | Some child ->
+         if child.pos + child.neg > 0 then
+           best := float_of_int child.pos /. float_of_int (child.pos + child.neg);
+         node := child
+     done
+   with Exit -> ());
+  !best
+
+let classify ?(threshold = 0.5) root reader =
+  match Cet_elf.Reader.find_section reader ".text" with
+  | None -> []
+  | Some text ->
+    let sweep = Linear.sweep_text reader in
+    Array.to_list sweep.insns
+    |> List.filter_map (fun (i : Cet_x86.Decoder.ins) ->
+           if score root text.data ~off:(i.addr - text.vaddr) > threshold then Some i.addr
+           else None)

@@ -1,0 +1,247 @@
+module Linear = Cet_disasm.Linear
+module Decoder = Cet_x86.Decoder
+module Arch = Cet_x86.Arch
+
+let fde_frames reader =
+  match Cet_elf.Reader.find_section reader ".eh_frame" with
+  | None -> []
+  | Some s -> Cet_eh.Eh_frame.decode ~vaddr:s.vaddr s.data
+
+let fde_starts reader =
+  (* The sorted [.eh_frame_hdr] search table is the cheap source real tools
+     consult first; fall back to walking [.eh_frame] records. *)
+  match Cet_elf.Reader.find_section reader ".eh_frame_hdr" with
+  | Some s -> (
+    match Cet_eh.Eh_frame_hdr.decode ~vaddr:s.vaddr s.data with
+    | entries ->
+      List.map (fun (e : Cet_eh.Eh_frame_hdr.entry) -> e.initial_loc) entries
+      |> List.sort_uniq compare
+    | exception Invalid_argument _ ->
+      fde_frames reader
+      |> List.map (fun (f : Cet_eh.Eh_frame.frame) -> f.pc_begin)
+      |> List.sort_uniq compare)
+  | None ->
+    fde_frames reader
+    |> List.map (fun (f : Cet_eh.Eh_frame.frame) -> f.pc_begin)
+    |> List.sort_uniq compare
+
+let fde_extents reader =
+  fde_frames reader
+  |> List.map (fun (f : Cet_eh.Eh_frame.frame) -> (f.pc_begin, f.pc_begin + f.pc_range))
+  |> List.sort_uniq compare
+
+let insn_index (sweep : Linear.t) =
+  let tbl = Hashtbl.create (Array.length sweep.insns) in
+  Array.iter (fun (i : Decoder.ins) -> Hashtbl.replace tbl i.addr i) sweep.insns;
+  tbl
+
+type explored = { e_functions : int list; e_visited : (int, unit) Hashtbl.t }
+
+let explore (sweep : Linear.t) ~roots =
+  let index = insn_index sweep in
+  let visited = Hashtbl.create 4096 in
+  let functions = Hashtbl.create 256 in
+  let wl = Queue.create () in
+  List.iter
+    (fun r ->
+      if Linear.in_range sweep r then begin
+        Hashtbl.replace functions r ();
+        Queue.add r wl
+      end)
+    roots;
+  while not (Queue.is_empty wl) do
+    let a = Queue.pop wl in
+    if (not (Hashtbl.mem visited a)) && Hashtbl.mem index a then begin
+      Hashtbl.replace visited a ();
+      let ins = Hashtbl.find index a in
+      let fall () = Queue.add (a + ins.Decoder.len) wl in
+      match ins.kind with
+      | Decoder.Ret | Decoder.Halt -> ()
+      | Decoder.Jmp_direct t -> if Linear.in_range sweep t then Queue.add t wl
+      | Decoder.Jcc_direct t ->
+        if Linear.in_range sweep t then Queue.add t wl;
+        fall ()
+      | Decoder.Call_direct t ->
+        if Linear.in_range sweep t && not (Hashtbl.mem functions t) then begin
+          Hashtbl.replace functions t ();
+          Queue.add t wl
+        end;
+        fall ()
+      | Decoder.Jmp_indirect _ -> ()
+      | Decoder.Call_indirect _ | Decoder.Endbr64 | Decoder.Endbr32 | Decoder.Addr_ref _
+      | Decoder.Other ->
+        fall ()
+    end
+  done;
+  {
+    e_functions = Hashtbl.fold (fun k () acc -> k :: acc) functions [] |> List.sort compare;
+    e_visited = visited;
+  }
+
+let reachable_call_targets sweep ~roots = (explore sweep ~roots).e_functions
+
+let byte (sweep : Linear.t) off =
+  if off < 0 || off >= sweep.size then -1 else Char.code sweep.code.[off]
+
+let entry_main_root (sweep : Linear.t) ~entry =
+  let index = insn_index sweep in
+  let rec scan addr budget =
+    if budget = 0 then None
+    else
+      match Hashtbl.find_opt index addr with
+      | None -> None
+      | Some ins -> (
+        match ins.Decoder.kind with
+        | Decoder.Addr_ref t when Linear.in_range sweep t -> Some t
+        | Decoder.Ret | Decoder.Halt | Decoder.Jmp_direct _ | Decoder.Jmp_indirect _ ->
+          None
+        | _ -> scan (addr + ins.Decoder.len) (budget - 1))
+  in
+  scan entry 12
+
+(* Does the byte sequence at [off] look like a prologue? *)
+let prologue_at (sweep : Linear.t) off ~aggressive =
+  let b0 = byte sweep off and b1 = byte sweep (off + 1) and b2 = byte sweep (off + 2) in
+  let x64 = sweep.arch = Arch.X64 in
+  let push_rbp_mov =
+    b0 = 0x55
+    &&
+    if x64 then b1 = 0x48 && b2 = 0x89 && byte sweep (off + 3) = 0xE5
+    else b1 = 0x89 && b2 = 0xE5
+  in
+  if push_rbp_mov then true
+  else if not aggressive then false
+  else
+    b0 = 0x53 || b0 = 0x55
+    || (x64 && b0 = 0x48 && b1 = 0x83 && b2 = 0xEC)
+    || ((not x64) && b0 = 0x83 && b1 = 0xEC)
+
+(* Padding / terminator bytes that typically precede a fresh function. *)
+let boundary_byte b = b = 0xC3 || b = 0xC2 || b = 0xCC || b = 0x90 || b = 0x00 || b = 0xF4
+
+(* An end-branch right before [off]?  Legacy scanners read it as a NOP. *)
+let endbr_before (sweep : Linear.t) off =
+  off >= 4
+  && byte sweep (off - 4) = 0xF3
+  && byte sweep (off - 3) = 0x0F
+  && byte sweep (off - 2) = 0x1E
+  && (byte sweep (off - 1) = 0xFA || byte sweep (off - 1) = 0xFB)
+
+let prologue_scan (sweep : Linear.t) ~known ~aggressive ?visited ?(suppress = []) () =
+  let known_set = Hashtbl.create (max 16 (List.length known)) in
+  List.iter (fun a -> Hashtbl.replace known_set a ()) known;
+  let suppress = Cet_util.Itable.of_list (List.map (fun (lo, hi) -> (lo, hi, ())) suppress) in
+  let hits = ref [] in
+  Array.iter
+    (fun (i : Decoder.ins) ->
+      let a = i.Decoder.addr in
+      let off = a - sweep.base in
+      if
+        (not (Hashtbl.mem known_set a))
+        && (not (Cet_util.Itable.mem suppress a))
+        && (match visited with Some v -> not (Hashtbl.mem v a) | None -> true)
+        && prologue_at sweep off ~aggressive
+      then begin
+        let after_endbr = endbr_before sweep off in
+        let after_boundary = off = 0 || boundary_byte (byte sweep (off - 1)) in
+        let aligned = a land 15 = 0 in
+        (* Conservative scanners demand an aligned start (or the legacy-NOP
+           end-branch anchor); aggressive ones take any post-boundary
+           position. *)
+        if
+          (after_boundary || after_endbr)
+          && (aggressive || aligned || after_endbr)
+        then hits := a :: !hits
+      end)
+    sweep.insns;
+  List.sort_uniq compare !hits
+
+(* Byte-level stack-delta of the instruction at [off]; [None] resets the
+   height (frame release via leave). *)
+let stack_delta (sweep : Linear.t) off =
+  let ptr = Arch.ptr_size sweep.arch in
+  let b0 = byte sweep off in
+  let b0, off =
+    if b0 >= 0x40 && b0 <= 0x4F && sweep.arch = Arch.X64 then (byte sweep (off + 1), off + 1)
+    else (b0, off)
+  in
+  if b0 >= 0x50 && b0 <= 0x57 then Some ptr
+  else if b0 >= 0x58 && b0 <= 0x5F then Some (-ptr)
+  else if b0 = 0x83 && byte sweep (off + 1) = 0xEC then Some (byte sweep (off + 2))
+  else if b0 = 0x83 && byte sweep (off + 1) = 0xC4 then Some (-byte sweep (off + 2))
+  else if b0 = 0xC9 then None (* leave *)
+  else Some 0
+
+(* Index of the first instruction at or after [addr]. *)
+let first_insn_index (sweep : Linear.t) addr =
+  let insns = sweep.insns in
+  let lo = ref 0 and hi = ref (Array.length insns) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if insns.(mid).Decoder.addr < addr then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let stack_height_tail_targets (sweep : Linear.t) ~extents ~passes =
+  let targets = ref [] in
+  List.iter
+    (fun (lo, hi) ->
+      (* The repeated passes mirror FETCH's fixed-point refinement: each
+         pass re-disassembles the function to rebuild its CFG, which is
+         where the tool's runtime goes (§V-D). *)
+      for pass = 1 to passes do
+        let height = ref 0 in
+        let off = ref (lo - sweep.base) in
+        let stop = hi - sweep.base in
+        while !off < stop do
+          match Decoder.decode sweep.arch sweep.code ~base:sweep.base ~off:!off with
+          | Error _ -> incr off
+          | Ok i ->
+            (match stack_delta sweep !off with
+            | None -> height := 0
+            | Some d -> height := !height + d);
+            (match i.Decoder.kind with
+            | Decoder.Jmp_direct t
+              when (t < lo || t >= hi) && Linear.in_range sweep t && !height <= 0 ->
+              if pass = passes then targets := t :: !targets
+            | _ -> ());
+            off := !off + i.Decoder.len
+        done
+      done)
+    extents;
+  List.sort_uniq compare !targets
+
+let calling_convention_scan (sweep : Linear.t) ~extents ~passes =
+  (* Per-extent register def/use histogram, recomputed [passes] times the
+     way FETCH revisits candidates per calling-convention hypothesis. *)
+  let well_formed = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      let ok = ref false in
+      for _pass = 1 to passes do
+        let defs = Array.make 16 0 in
+        let k = ref (first_insn_index sweep lo) in
+        let n = Array.length sweep.insns in
+        while !k < n && sweep.insns.(!k).Decoder.addr < hi do
+          let i = sweep.insns.(!k) in
+          let off = i.addr - sweep.base in
+          let b0 = byte sweep off in
+          let b0, off' =
+            if b0 >= 0x40 && b0 <= 0x4F && sweep.arch = Arch.X64 then
+              (byte sweep (off + 1), off + 1)
+            else (b0, off)
+          in
+          (* mov r/m,r | mov r,r/m | mov r,imm | xor r,r *)
+          (if b0 = 0x89 || b0 = 0x8B || b0 = 0x31 then begin
+             let modrm = byte sweep (off' + 1) in
+             let reg = (modrm lsr 3) land 7 in
+             defs.(reg) <- defs.(reg) + 1
+           end
+           else if b0 >= 0xB8 && b0 <= 0xBF then defs.(b0 land 7) <- defs.(b0 land 7) + 1);
+          incr k
+        done;
+        ok := Array.exists (fun d -> d > 0) defs
+      done;
+      if !ok then incr well_formed)
+    extents;
+  !well_formed

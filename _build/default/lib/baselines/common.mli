@@ -1,0 +1,73 @@
+(** Analysis passes shared by the baseline identifiers (the IDA-, Ghidra-
+    and FETCH-like models of §V-A2).
+
+    Each pass is a genuine binary analysis over the linear-sweep stream —
+    the models reproduce the *mechanisms* the paper attributes to each tool
+    (frame-description harvesting, recursive traversal, prologue signature
+    scanning, stack-height verification), not their outputs.
+
+    A detail that matters throughout: ENDBR64/ENDBR32 decode as multi-byte
+    NOPs on pre-CET processors, so legacy signature scanners treat a
+    function's leading end-branch as padding and anchor their prologue
+    match four bytes past the real entry.  That misplacement is the
+    mechanism behind the pre-CET tools' degraded precision *and* recall on
+    CET-enabled binaries — precisely the gap FunSeeker exploits. *)
+
+val fde_starts : Cet_elf.Reader.t -> int list
+(** [pc_begin] of every FDE in [.eh_frame], sorted (empty without FDEs). *)
+
+val fde_extents : Cet_elf.Reader.t -> (int * int) list
+(** [(pc_begin, pc_begin + pc_range)] of every FDE. *)
+
+type explored = {
+  e_functions : int list;  (** roots plus direct-call targets, sorted *)
+  e_visited : (int, unit) Hashtbl.t;  (** every instruction address walked *)
+}
+
+val explore : Cet_disasm.Linear.t -> roots:int list -> explored
+(** Recursive-descent traversal: explore from [roots], following fall-
+    through, conditional and unconditional branches, and collecting direct
+    call targets as function entries (transitively explored).  Indirect
+    branches are dead ends — the limitation behind IDA's recall. *)
+
+val reachable_call_targets : Cet_disasm.Linear.t -> roots:int list -> int list
+(** [explore] keeping only the function list. *)
+
+val entry_main_root : Cet_disasm.Linear.t -> entry:int -> int option
+(** The [__libc_start_main] idiom: scan the first instructions at the entry
+    point for a code-address materialisation ([lea rdi, \[rip+d\]] on
+    x86-64, [push imm32] on x86) and return the address — how real tools
+    locate [main] in stripped binaries. *)
+
+val prologue_scan :
+  Cet_disasm.Linear.t ->
+  known:int list ->
+  aggressive:bool ->
+  ?visited:(int, unit) Hashtbl.t ->
+  ?suppress:(int * int) list ->
+  unit ->
+  int list
+(** Signature-based gap scanning.  A hit is an instruction matching a
+    prologue byte signature ([push rbp; mov rbp, rsp]; with [aggressive]
+    also bare [push rbx/rbp] and [sub rsp, imm8]) placed right after
+    padding, a return, or a legacy-NOP end-branch (see above — such hits
+    land 4 bytes past the true entry).  [known] addresses, addresses inside
+    [suppress] extents, and [visited] instruction addresses are skipped. *)
+
+val stack_height_tail_targets :
+  Cet_disasm.Linear.t -> extents:(int * int) list -> passes:int -> int list
+(** FETCH's expensive refinement: for each function extent, run [passes]
+    rounds of abstract stack-height tracking and report targets of
+    stack-balanced unconditional jumps leaving the extent (tail-call
+    targets). *)
+
+val calling_convention_scan :
+  Cet_disasm.Linear.t -> extents:(int * int) list -> passes:int -> int
+(** The second half of FETCH's verification: per-function register def/use
+    profiling used to sanity-check calling conventions.  Returns the number
+    of extents whose profile looks like a well-formed function (all of
+    them, for compiler-generated code) — the value matters less than the
+    work. *)
+
+val insn_index : Cet_disasm.Linear.t -> (int, Cet_x86.Decoder.ins) Hashtbl.t
+(** Address → instruction table for a sweep. *)

@@ -1,0 +1,32 @@
+module Linear = Cet_disasm.Linear
+
+let analyze ?(passes = 22) reader =
+  let starts = Common.fde_starts reader in
+  match Cet_elf.Reader.find_section reader ".text" with
+  | None -> starts
+  | Some text ->
+    let text_end = text.vaddr + text.size in
+    let starts = List.filter (fun a -> a >= text.vaddr && a < text_end) starts in
+    if starts = [] then []
+    else begin
+      let sweep = Linear.sweep_text reader in
+      (* Extents from consecutive FDE starts (FDEs carry pc_range, but the
+         derived extent matches and keeps the pass uniform). *)
+      let arr = Array.of_list starts in
+      let extents =
+        Array.to_list
+          (Array.mapi
+             (fun i lo ->
+               let hi = if i + 1 < Array.length arr then arr.(i + 1) else text_end in
+               (lo, hi))
+             arr)
+      in
+      (* FETCH's two verification analyses: stack-height tracking for
+         tail-call targets, and calling-convention profiling of every
+         candidate — the "more complicated techniques" behind its runtime
+         (§V-D). *)
+      let tail_targets = Common.stack_height_tail_targets sweep ~extents ~passes in
+      let verified = Common.calling_convention_scan sweep ~extents ~passes:(passes * 2) in
+      ignore verified;
+      List.sort_uniq compare (starts @ tail_targets)
+    end

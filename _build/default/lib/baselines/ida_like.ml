@@ -1,0 +1,65 @@
+module Linear = Cet_disasm.Linear
+module Decoder = Cet_x86.Decoder
+
+let analyze reader =
+  match Cet_elf.Reader.find_section reader ".text" with
+  | None -> []
+  | Some text ->
+    let sweep = Linear.sweep_text reader in
+    let text_end = text.vaddr + text.size in
+    let entry = Cet_elf.Reader.entry reader in
+    (* IDA's ELF loader recognises the __libc_start_main idiom and roots
+       the call graph at main. *)
+    let roots =
+      entry :: (match Common.entry_main_root sweep ~entry with Some m -> [ m ] | None -> [])
+    in
+    let ex = Common.explore sweep ~roots in
+    let starts0 = ex.Common.e_functions in
+    (* Tail-jump heuristic: an unconditional jump to an address before the
+       current function starts a new one. *)
+    let owner_start a =
+      let rec last best = function
+        | [] -> best
+        | s :: rest -> if s <= a then last (Some s) rest else best
+      in
+      last None starts0
+    in
+    let tail_jumps =
+      List.filter_map
+        (fun (site, target) ->
+          match owner_start site with
+          | Some f when target < f && not (List.mem target starts0) -> Some target
+          | _ -> None)
+        (Linear.jmp_refs sweep)
+    in
+    (* Data-reference pass: code addresses materialised by lea (x86-64,
+       unambiguous) or by absolute immediates on non-PIE x86 (the image
+       base makes text addresses distinctive).  PIE x86 immediates are
+       indistinguishable from small constants, so IDA skips them — part of
+       why its recall is worse on 32-bit PIEs. *)
+    let addr_refs =
+      let unambiguous =
+        match Cet_elf.Reader.arch reader with
+        | Cet_x86.Arch.X64 -> true
+        | Cet_x86.Arch.X86 -> not (Cet_elf.Reader.pie reader)
+      in
+      if not unambiguous then []
+      else
+        Array.to_list sweep.insns
+        |> List.filter_map (fun (i : Decoder.ins) ->
+               match i.kind with
+               | Decoder.Addr_ref t
+                 when t >= text.vaddr && t < text_end && t land 3 = 0 ->
+                 Some t
+               | _ -> None)
+    in
+    let known = List.sort_uniq compare (starts0 @ tail_jumps @ addr_refs) in
+    (* FLIRT-style signature pass over code the traversal never reached.
+       Signatures predate CET, so a leading end-branch reads as padding and
+       hits land four bytes past the true entry. *)
+    let pattern_hits =
+      Common.prologue_scan sweep ~known ~aggressive:false ~visited:ex.Common.e_visited ()
+    in
+    let ex2 = Common.explore sweep ~roots:(pattern_hits @ known) in
+    List.sort_uniq compare (known @ pattern_hits @ ex2.Common.e_functions)
+    |> List.filter (fun a -> a >= text.vaddr && a < text_end)

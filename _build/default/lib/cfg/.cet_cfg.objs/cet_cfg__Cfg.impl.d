@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Buffer Cet_disasm Cet_x86 Core Hashtbl List Option Printf

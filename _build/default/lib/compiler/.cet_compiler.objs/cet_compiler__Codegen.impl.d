@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Cet_x86 Filename Hashtbl Ir List Options Printf

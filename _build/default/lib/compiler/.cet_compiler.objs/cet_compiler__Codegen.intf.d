@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Cet_x86 Ir Options

@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Hashtbl List Printf

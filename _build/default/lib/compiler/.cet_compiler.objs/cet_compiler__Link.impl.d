@@ -1,0 +1,1 @@
+lib/compiler/link.ml: Cet_eh Cet_elf Cet_util Cet_x86 Codegen Hashtbl Ir List Option Options String

@@ -1,0 +1,1 @@
+lib/compiler/options.ml: Cet_x86 List Printf

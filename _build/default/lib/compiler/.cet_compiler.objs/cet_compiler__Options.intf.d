@@ -1,0 +1,1 @@
+lib/compiler/options.mli: Cet_x86

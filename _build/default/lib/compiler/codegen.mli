@@ -1,0 +1,54 @@
+(** Lowering from {!Ir} to assembly fragments.
+
+    The code generator implements the end-branch insertion rules the paper
+    measures (§II, §III-B):
+
+    - an end-branch at the entry of every exported or address-taken function
+      (unless flagged [no_endbr], modelling intrinsics), when
+      [-fcf-protection=full];
+    - an end-branch immediately after every call to one of GCC's predefined
+      indirect-return functions ([setjmp] and friends);
+    - an end-branch at the head of every C++ exception landing pad, placed
+      after the function epilogue as GCC does;
+    - [notrack]-prefixed indirect jumps for switch jump tables (no
+      end-branches at case labels);
+    - hot/cold splitting ([.cold]) and partial inlining ([.part.0])
+      fragments at O2+ under the GCC persona;
+    - tail calls ([jmp] in place of [call]+[ret]) when sibling-call
+      optimisation is active;
+    - the [__x86.get_pc_thunk] helpers on x86 PIE, including the variant the
+      compiler emits without a symbol when only [_start] references it. *)
+
+type lsda_site = {
+  try_start : string;  (** label opening the guarded region *)
+  try_end : string;  (** label closing it *)
+  landing : string option;  (** landing-pad label *)
+}
+
+type fragment = {
+  frag_name : string;  (** symbol name: ["foo"], ["foo.cold"], ["foo.part.0"] *)
+  parent : string option;  (** owning function for [.cold]/[.part] fragments *)
+  is_function : bool;  (** [true] for genuine functions (ground truth) *)
+  has_symbol : bool;  (** [false] for the omitted-thunk corner case *)
+  global : bool;  (** symbol binding: STB_GLOBAL vs STB_LOCAL *)
+  items : Cet_x86.Asm.item list;
+      (** starts with [Label frag_name], ends with [Label (frag_name ^ "$end")] *)
+  lsda_sites : lsda_site list;
+  handler_count : int;
+  tables : (string * string list) list;
+      (** jump tables: table label → case labels (absolute entries) *)
+}
+
+type output = {
+  fragments : fragment list;  (** in final [.text] layout order *)
+  imports : string list;  (** PLT entries, in order *)
+}
+
+val plt_label : string -> string
+(** Label under which the link stage exposes an import's PLT entry. *)
+
+val frag_end_label : string -> string
+
+val lower : Options.t -> Ir.program -> output
+(** Lower a validated program.  Raises [Invalid_argument] when
+    {!Ir.validate} would reject it. *)

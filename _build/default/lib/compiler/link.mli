@@ -1,0 +1,31 @@
+(** Layout and image production: the "assembler + linker" back half of the
+    synthetic toolchain.
+
+    Section order: [.plt], [.text], [.rodata] (jump tables), [.eh_frame],
+    [.gcc_except_table] (C++ only), [.got.plt], [.data].  PLT entries are
+    16 bytes, IBT-style (end-branch + indirect jump through the GOT slot),
+    and the matching [.rel(a).plt] relocations give analysis tools the
+    import-name mapping FunSeeker's FILTERENDBR relies on. *)
+
+type result = {
+  image : Cet_elf.Image.t;
+  truth : (string * int) list;
+      (** real function entries (name, vaddr), including symbol-less corner
+          cases, excluding [.cold]/[.part] fragments — the paper's notion of
+          ground truth *)
+  fragment_extents : (string * int * int) list;
+      (** every laid-out fragment as (name, start, end) *)
+  plt_entries : (string * int) list;  (** import name → PLT entry vaddr *)
+}
+
+val base_address : Options.t -> int
+(** Link base: 0x8049000 (x86 non-PIE), 0x401000 (x86-64 non-PIE), 0x1000
+    (PIE). *)
+
+val plt_entry_size : int
+
+val link : Options.t -> Ir.program -> result
+(** Lower, lay out, assemble, and package a program. *)
+
+val compile : ?strip:bool -> Options.t -> Ir.program -> string
+(** [link] followed by ELF serialisation. *)

@@ -1,0 +1,77 @@
+module Arch = Cet_x86.Arch
+
+type compiler = Gcc | Clang
+
+type opt_level = O0 | O1 | O2 | O3 | Os | Ofast
+
+type cf_protection = Cf_full | Cf_manual | Cf_none
+
+type t = {
+  compiler : compiler;
+  arch : Arch.t;
+  pie : bool;
+  opt : opt_level;
+  cf_protection : cf_protection;
+  jump_tables_in_text : bool;
+}
+
+let default =
+  {
+    compiler = Gcc;
+    arch = Arch.X64;
+    pie = true;
+    opt = O2;
+    cf_protection = Cf_full;
+    jump_tables_in_text = false;
+  }
+
+let opt_levels = [ O0; O1; O2; O3; Os; Ofast ]
+
+let all_grid =
+  List.concat_map
+    (fun compiler ->
+      List.concat_map
+        (fun arch ->
+          List.concat_map
+            (fun pie ->
+              List.map
+                (fun opt ->
+                  {
+                    compiler;
+                    arch;
+                    pie;
+                    opt;
+                    cf_protection = Cf_full;
+                    jump_tables_in_text = false;
+                  })
+                opt_levels)
+            [ false; true ])
+        [ Arch.X86; Arch.X64 ])
+    [ Gcc; Clang ]
+
+let tail_calls_enabled t =
+  match t.opt with O2 | O3 | Os | Ofast -> true | O0 | O1 -> false
+
+let cold_splitting_enabled t =
+  t.compiler = Gcc && match t.opt with O2 | O3 | Ofast -> true | O0 | O1 | Os -> false
+
+let function_alignment t = match t.opt with Os -> 4 | _ -> 16
+
+let emits_fdes t ~lang_cpp =
+  lang_cpp || t.compiler = Gcc || t.arch = Arch.X64
+
+let compiler_name = function Gcc -> "gcc" | Clang -> "clang"
+
+let opt_name = function
+  | O0 -> "O0"
+  | O1 -> "O1"
+  | O2 -> "O2"
+  | O3 -> "O3"
+  | Os -> "Os"
+  | Ofast -> "Ofast"
+
+let to_string t =
+  Printf.sprintf "%s-%s-%s-%s" (compiler_name t.compiler)
+    (match t.arch with Arch.X86 -> "x86" | Arch.X64 -> "x64")
+    (if t.pie then "pie" else "nopie")
+    (opt_name t.opt)

@@ -1,0 +1,53 @@
+(** Compilation configurations: the 24-point grid of the paper's dataset
+    (2 compilers × 2 architectures × PIE/non-PIE × 6 optimisation levels). *)
+
+type compiler = Gcc | Clang
+
+type opt_level = O0 | O1 | O2 | O3 | Os | Ofast
+
+type cf_protection = Cf_full | Cf_manual | Cf_none
+(** [-fcf-protection] level.  [Cf_full] is the compiler default the paper
+    studies.  [Cf_manual] models [-mmanual-endbr] (§VI): end-branches are
+    emitted only where strictly required — address-taken functions — not at
+    every exported entry.  [Cf_none] produces legacy binaries. *)
+
+type t = {
+  compiler : compiler;
+  arch : Cet_x86.Arch.t;
+  pie : bool;
+  opt : opt_level;
+  cf_protection : cf_protection;
+  jump_tables_in_text : bool;
+      (** place switch jump tables inline in [.text] instead of [.rodata] —
+          the hand-written-assembly idiom (§VI) that breaks linear sweep *)
+}
+
+val default : t
+(** GCC, x86-64, PIE, -O2, full protection. *)
+
+val all_grid : t list
+(** The full dataset grid: the paper's 24 configurations per compiler
+    (2 architectures x PIE/non-PIE x 6 levels), for both compilers — 48
+    points overall. *)
+
+val opt_levels : opt_level list
+
+val tail_calls_enabled : t -> bool
+(** [-foptimize-sibling-calls]: active at O2, O3, Os, Ofast. *)
+
+val cold_splitting_enabled : t -> bool
+(** Hot/cold partitioning and partial inlining ([.cold]/[.part] fragments):
+    GCC at O2 and above. *)
+
+val function_alignment : t -> int
+(** Entry alignment: 16 at most levels, 4 under -Os. *)
+
+val emits_fdes : t -> lang_cpp:bool -> bool
+(** Whether this configuration records frame-description entries for plain C
+    functions: GCC always; Clang omits them on x86 for pure-C code (the
+    behaviour FETCH and Ghidra trip over).  C++ frames always get FDEs. *)
+
+val compiler_name : compiler -> string
+val opt_name : opt_level -> string
+val to_string : t -> string
+(** e.g. ["gcc-x64-pie-O2"]. *)

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Cet_disasm Cet_elf Cet_x86 Char Hashtbl List Parse String

@@ -1,0 +1,1 @@
+lib/core/funseeker.ml: Array Cet_disasm Cet_elf Hashtbl List Option Parse

@@ -1,0 +1,1 @@
+lib/core/funseeker.mli: Cet_disasm Cet_elf

@@ -1,0 +1,1 @@
+lib/core/parse.ml: Cet_eh Cet_elf List String

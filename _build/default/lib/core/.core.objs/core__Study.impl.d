@@ -1,0 +1,1 @@
+lib/core/study.ml: Cet_disasm Hashtbl List Parse

@@ -1,0 +1,1 @@
+lib/core/study.mli: Cet_disasm Cet_elf

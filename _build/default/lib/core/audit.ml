@@ -1,0 +1,114 @@
+module Linear = Cet_disasm.Linear
+module Decoder = Cet_x86.Decoder
+
+type violation = { v_target : int; v_reason : reason }
+
+and reason = Address_taken | Data_pointer | Landing_pad | Plt_entry
+
+type report = {
+  violations : violation list;
+  checked : int;
+  marked : int;
+  superfluous : int;
+}
+
+let reason_to_string = function
+  | Address_taken -> "address taken in code"
+  | Data_pointer -> "code pointer in data"
+  | Landing_pad -> "exception landing pad"
+  | Plt_entry -> "PLT entry"
+
+let audit reader =
+  let sweep = Linear.sweep_text reader in
+  let insn_starts = Hashtbl.create 4096 in
+  Array.iter
+    (fun (i : Decoder.ins) -> Hashtbl.replace insn_starts i.addr ())
+    sweep.insns;
+  let endbr_text = Hashtbl.create 256 in
+  List.iter (fun a -> Hashtbl.replace endbr_text a ()) (Linear.endbr_addrs sweep);
+  (* PLT entries carry their own end-branches (checked against raw bytes:
+     the PLT is outside .text). *)
+  let plt = Parse.plt reader in
+  let plt_section = Cet_elf.Reader.find_section reader ".plt" in
+  let arch = Cet_elf.Reader.arch reader in
+  let plt_entry_marked addr =
+    match plt_section with
+    | None -> false
+    | Some s -> (
+      let off = addr - s.vaddr in
+      match Decoder.decode arch s.data ~base:s.vaddr ~off with
+      | Ok { kind = Decoder.Endbr64; _ } -> arch = Cet_x86.Arch.X64
+      | Ok { kind = Decoder.Endbr32; _ } -> arch = Cet_x86.Arch.X86
+      | _ -> false)
+  in
+  (* Candidate indirect-branch targets. *)
+  let candidates = Hashtbl.create 256 in
+  let add_candidate target reason =
+    if not (Hashtbl.mem candidates target) then Hashtbl.replace candidates target reason
+  in
+  (* 1. Addresses materialised in code that point at instruction starts:
+     function pointers about to be called or escaped. *)
+  Array.iter
+    (fun (i : Decoder.ins) ->
+      match i.kind with
+      | Decoder.Addr_ref t when Linear.in_range sweep t && Hashtbl.mem insn_starts t ->
+        add_candidate t Address_taken
+      | _ -> ())
+    sweep.insns;
+  (* 2. Landing pads: the unwinder enters them indirectly.  (Jump tables in
+     .rodata are exempt: compilers dispatch switches with NOTRACK.) *)
+  List.iter (fun lp -> add_candidate lp Landing_pad) (Parse.landing_pads reader);
+  (* 3. Code pointers in writable data (callback tables). *)
+  (match Cet_elf.Reader.find_section reader ".data" with
+  | None -> ()
+  | Some d ->
+    let ptr = Cet_x86.Arch.ptr_size arch in
+    for w = 0 to (String.length d.data / ptr) - 1 do
+      let v = ref 0 in
+      for b = ptr - 1 downto 0 do
+        v := (!v lsl 8) lor Char.code d.data.[(w * ptr) + b]
+      done;
+      if Linear.in_range sweep !v && Hashtbl.mem insn_starts !v then
+        add_candidate !v Data_pointer
+    done);
+  (* 4. PLT entries (targets of GOT-mediated jumps). *)
+  List.iter (fun (addr, _name) -> add_candidate addr Plt_entry) plt.Parse.entries;
+  (* Verdicts. *)
+  let violations = ref [] in
+  let marked = ref 0 in
+  Hashtbl.iter
+    (fun target reason ->
+      let ok =
+        match reason with
+        | Plt_entry -> plt_entry_marked target
+        | _ -> Hashtbl.mem endbr_text target
+      in
+      if ok then incr marked
+      else violations := { v_target = target; v_reason = reason } :: !violations)
+    candidates;
+  (* Superfluous markers: end-branches that are neither candidate targets
+     nor indirect-return continuation sites — conservative compiler
+     over-marking (the paper's §III-B observation, and extra attack
+     surface from the defender's perspective). *)
+  let ir_returns = Hashtbl.create 8 in
+  List.iter
+    (fun (_site, ret, target) ->
+      if Parse.in_plt plt target then
+        match Parse.plt_name plt target with
+        | Some name when List.mem name Parse.indirect_return_imports ->
+          Hashtbl.replace ir_returns ret ()
+        | _ -> ())
+    (Linear.call_sites sweep);
+  let superfluous =
+    Hashtbl.fold
+      (fun e () acc ->
+        if Hashtbl.mem candidates e || Hashtbl.mem ir_returns e then acc else acc + 1)
+      endbr_text 0
+  in
+  {
+    violations =
+      List.sort (fun a b -> compare a.v_target b.v_target) !violations;
+    checked = Hashtbl.length candidates;
+    marked = !marked;
+    superfluous;
+  }

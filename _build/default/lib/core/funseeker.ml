@@ -1,0 +1,157 @@
+module Linear = Cet_disasm.Linear
+
+type config = {
+  filter_endbr : bool;
+  include_jump_targets : bool;
+  select_tail_calls : bool;
+}
+
+let config1 = { filter_endbr = false; include_jump_targets = false; select_tail_calls = false }
+let config2 = { config1 with filter_endbr = true }
+let config3 = { config2 with include_jump_targets = true }
+let config4 = { config3 with select_tail_calls = true }
+let default_config = config4
+
+type result = {
+  functions : int list;
+  endbr_total : int;
+  filtered_indirect_return : int;
+  filtered_landing_pads : int;
+  call_target_count : int;
+  jump_target_count : int;
+  tail_calls_selected : int;
+  resync_errors : int;
+}
+
+(* Greatest candidate start <= addr, with the extent ending at the next
+   candidate (or the end of .text). *)
+let owner_extent starts text_end addr =
+  let n = Array.length starts in
+  let rec search lo hi =
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      if starts.(mid) <= addr then search (mid + 1) hi else search lo mid
+  in
+  let idx = search 0 n in
+  if idx < 0 then None
+  else
+    let lo = starts.(idx) in
+    let hi = if idx + 1 < n then starts.(idx + 1) else text_end in
+    Some (lo, hi)
+
+let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
+  let starts = Array.of_list candidates in
+  Array.sort compare starts;
+  let owner addr = owner_extent starts text_end addr in
+  (* target -> function starts that reference it (by call or jump) *)
+  let refs : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let add_ref site target =
+    match owner site with
+    | None -> ()
+    | Some (src, _) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt refs target) in
+      if not (List.mem src cur) then Hashtbl.replace refs target (src :: cur)
+  in
+  List.iter (fun (site, target) -> add_ref site target) call_refs;
+  List.iter (fun (site, target) -> add_ref site target) jmp_refs;
+  List.filter_map
+    (fun (site, target) ->
+      match owner site with
+      | None -> None
+      | Some (lo, hi) ->
+        let beyond = target < lo || target >= hi in
+        let outside_refs =
+          match Hashtbl.find_opt refs target with
+          | None -> false
+          | Some srcs -> List.exists (fun s -> s <> lo) srcs
+        in
+        if beyond && outside_refs then Some target else None)
+    jmp_refs
+  |> List.sort_uniq compare
+
+let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
+  let endbrs = Linear.endbr_addrs sweep in
+  let call_sites = Linear.call_sites sweep in
+  let calls =
+    List.filter_map
+      (fun (_, _, target) -> if Linear.in_range sweep target then Some target else None)
+      call_sites
+    |> List.sort_uniq compare
+  in
+  let jmps = Linear.jmp_targets sweep in
+  let filtered_ir = ref 0 and filtered_lp = ref 0 in
+  let endbrs' =
+    if not config.filter_endbr then endbrs
+    else begin
+      (* Drop end-branches that are return targets of indirect-return
+         imports (setjmp & co.), identified through the PLT. *)
+      let plt_map = Parse.plt reader in
+      let ir_returns = Hashtbl.create 8 in
+      List.iter
+        (fun (_site, ret, target) ->
+          if Parse.in_plt plt_map target then
+            match Parse.plt_name plt_map target with
+            | Some name when List.mem name Parse.indirect_return_imports ->
+              Hashtbl.replace ir_returns ret ()
+            | _ -> ())
+        call_sites;
+      (* Drop end-branches heading exception landing pads. *)
+      let lps = Parse.landing_pads reader in
+      let lp_set = Hashtbl.create 64 in
+      List.iter (fun a -> Hashtbl.replace lp_set a ()) lps;
+      List.filter
+        (fun e ->
+          if Hashtbl.mem ir_returns e then begin
+            incr filtered_ir;
+            false
+          end
+          else if Hashtbl.mem lp_set e then begin
+            incr filtered_lp;
+            false
+          end
+          else true)
+        endbrs
+    end
+  in
+  let base_candidates = List.sort_uniq compare (endbrs' @ calls) in
+  let tail_selected = ref 0 in
+  let functions =
+    if not config.include_jump_targets then base_candidates
+    else if not config.select_tail_calls then
+      List.sort_uniq compare (base_candidates @ jmps)
+    else begin
+      let jmp_refs = Linear.jmp_refs sweep in
+      let call_refs =
+        List.filter_map
+          (fun (site, _, target) ->
+            if Linear.in_range sweep target then Some (site, target) else None)
+          call_sites
+      in
+      let selected =
+        select_tail_calls ~candidates:base_candidates ~jmp_refs ~call_refs
+          ~text_end:(sweep.base + sweep.size)
+      in
+      tail_selected := List.length selected;
+      List.sort_uniq compare (base_candidates @ selected)
+    end
+  in
+  {
+    functions;
+    endbr_total = List.length endbrs;
+    filtered_indirect_return = !filtered_ir;
+    filtered_landing_pads = !filtered_lp;
+    call_target_count = List.length calls;
+    jump_target_count = List.length jmps;
+    tail_calls_selected = !tail_selected;
+    resync_errors = sweep.resync_errors;
+  }
+
+let analyze ?(config = default_config) ?(anchored = false) reader =
+  let sweep =
+    if anchored then Linear.sweep_text_anchored reader else Linear.sweep_text reader
+  in
+  analyze_sweep ~config reader sweep
+
+let analyze_bytes ?(config = default_config) ?(anchored = false) bytes =
+  analyze ~config ~anchored (Cet_elf.Reader.read bytes)

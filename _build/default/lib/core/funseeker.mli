@@ -1,0 +1,71 @@
+(** FunSeeker: function identification for CET-enabled binaries (Alg. 1).
+
+    {[
+      FunSeeker(bin):
+        txt, exn ← PARSE(bin)
+        E, C, J  ← DISASSEMBLE(txt)
+        E'       ← FILTERENDBR(E, exn)
+        J'       ← SELECTTAILCALL(J)
+        return E' ∪ C ∪ J'
+    ]}
+
+    The four ablation configurations of Table II are expressed through
+    {!config}: ① [E ∪ C], ② [E' ∪ C], ③ [E' ∪ C ∪ J], ④ [E' ∪ C ∪ J']. *)
+
+type config = {
+  filter_endbr : bool;  (** run FILTERENDBR (§IV-C) *)
+  include_jump_targets : bool;  (** add direct-jump targets (J) *)
+  select_tail_calls : bool;  (** restrict J to tail calls (§IV-D) *)
+}
+
+val config1 : config
+(** E ∪ C. *)
+
+val config2 : config
+(** E' ∪ C. *)
+
+val config3 : config
+(** E' ∪ C ∪ J. *)
+
+val config4 : config
+(** E' ∪ C ∪ J' — the full FunSeeker. *)
+
+val default_config : config
+(** Same as {!config4}. *)
+
+type result = {
+  functions : int list;  (** identified entry addresses, sorted *)
+  endbr_total : int;  (** |E| *)
+  filtered_indirect_return : int;  (** end-branches dropped as setjmp-style return targets *)
+  filtered_landing_pads : int;  (** end-branches dropped as catch blocks *)
+  call_target_count : int;  (** |C| *)
+  jump_target_count : int;  (** |J| *)
+  tail_calls_selected : int;  (** |J'| *)
+  resync_errors : int;  (** linear-sweep recoveries *)
+}
+
+val analyze : ?config:config -> ?anchored:bool -> Cet_elf.Reader.t -> result
+(** Run FunSeeker on a parsed binary.  With [anchored] (default false) the
+    DISASSEMBLE stage uses the end-branch-anchored sweep
+    ({!Cet_disasm.Linear.sweep_anchored}), the §VI mitigation for binaries
+    with inline data in [.text]. *)
+
+val analyze_sweep :
+  ?config:config -> Cet_elf.Reader.t -> Cet_disasm.Linear.t -> result
+(** Like {!analyze} but over a pre-computed linear sweep — lets the
+    ablation harness share one DISASSEMBLE across the four configs. *)
+
+val analyze_bytes : ?config:config -> ?anchored:bool -> string -> result
+(** Convenience: parse ELF bytes then {!analyze}. *)
+
+val select_tail_calls :
+  candidates:int list ->
+  jmp_refs:(int * int) list ->
+  call_refs:(int * int) list ->
+  text_end:int ->
+  int list
+(** SELECTTAILCALL in isolation (exposed for tests): given candidate
+    function starts, jump references and call references as
+    [(site, target)], keep the jump targets that (1) land beyond the extent
+    of the function containing the jump, and (2) are referenced from at
+    least one other function. *)

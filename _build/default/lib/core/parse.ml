@@ -1,0 +1,42 @@
+module Reader = Cet_elf.Reader
+
+type plt_map = { plt_lo : int; plt_hi : int; entries : (int * string) list }
+
+let plt_entry_size = 16
+
+let plt reader =
+  match Reader.find_section reader ".plt" with
+  | None -> { plt_lo = 0; plt_hi = 0; entries = [] }
+  | Some s ->
+    let relocs = Reader.plt_relocs reader in
+    let entries =
+      List.mapi (fun i (_slot, name) -> (s.vaddr + ((i + 1) * plt_entry_size), name)) relocs
+    in
+    { plt_lo = s.vaddr; plt_hi = s.vaddr + s.size; entries }
+
+let plt_name map addr = List.assoc_opt addr map.entries
+
+let in_plt map addr = addr >= map.plt_lo && addr < map.plt_hi && map.plt_hi > 0
+
+let landing_pads reader =
+  match (Reader.find_section reader ".eh_frame", Reader.find_section reader ".gcc_except_table") with
+  | Some eh, Some get ->
+    let frames = Cet_eh.Eh_frame.decode ~vaddr:eh.vaddr eh.data in
+    List.concat_map
+      (fun (f : Cet_eh.Eh_frame.frame) ->
+        match f.lsda with
+        | None -> []
+        | Some lsda_vaddr ->
+          let off = lsda_vaddr - get.vaddr in
+          if off < 0 || off >= String.length get.data then []
+          else
+            let lsda = Cet_eh.Lsda.decode get.data ~off in
+            Cet_eh.Lsda.landing_pads lsda ~func_start:f.pc_begin)
+      frames
+    |> List.sort_uniq compare
+  | _ -> []
+
+let text_section reader = Reader.find_section reader ".text"
+
+let indirect_return_imports =
+  [ "setjmp"; "_setjmp"; "sigsetjmp"; "savectx"; "vfork"; "getcontext" ]

@@ -1,0 +1,30 @@
+(** PARSE: the binary-level inputs of the FunSeeker algorithm (Alg. 1,
+    line 2) — the [.text] section, the PLT import map, and the C++ exception
+    information (landing-pad addresses recovered from [.eh_frame] LSDA
+    pointers into [.gcc_except_table]). *)
+
+type plt_map = {
+  plt_lo : int;
+  plt_hi : int;  (** [.plt] extent, exclusive *)
+  entries : (int * string) list;  (** entry vaddr → imported name *)
+}
+
+val plt : Cet_elf.Reader.t -> plt_map
+(** Recover the PLT map: relocation order gives entry order (entry [i] of
+    [.rel(a).plt] owns the PLT slot at [plt_base + 16*(i+1)]).  Returns an
+    empty map when the binary has no PLT. *)
+
+val plt_name : plt_map -> int -> string option
+(** Name of the import whose PLT entry starts at the given address. *)
+
+val in_plt : plt_map -> int -> bool
+
+val landing_pads : Cet_elf.Reader.t -> int list
+(** Sorted landing-pad (catch-block) virtual addresses, or [] for binaries
+    without exception tables. *)
+
+val text_section : Cet_elf.Reader.t -> Cet_elf.Reader.section option
+
+val indirect_return_imports : string list
+(** GCC's predefined indirect-return functions, the FILTERENDBR allowlist:
+    [setjmp], [_setjmp], [sigsetjmp], [savectx], [vfork], [getcontext]. *)

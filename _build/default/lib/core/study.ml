@@ -1,0 +1,70 @@
+module Linear = Cet_disasm.Linear
+
+type endbr_location =
+  | At_function_entry
+  | After_indirect_return_call
+  | At_landing_pad
+  | Elsewhere
+
+let classify_endbrs ?sweep reader ~truth =
+  let sweep = match sweep with Some s -> s | None -> Linear.sweep_text reader in
+  let endbrs = Linear.endbr_addrs sweep in
+  let truth_set = Hashtbl.create (List.length truth) in
+  List.iter (fun a -> Hashtbl.replace truth_set a ()) truth;
+  let lp_set = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace lp_set a ()) (Parse.landing_pads reader);
+  let plt_map = Parse.plt reader in
+  let ir_returns = Hashtbl.create 8 in
+  List.iter
+    (fun (_site, ret, target) ->
+      if Parse.in_plt plt_map target then
+        match Parse.plt_name plt_map target with
+        | Some name when List.mem name Parse.indirect_return_imports ->
+          Hashtbl.replace ir_returns ret ()
+        | _ -> ())
+    (Linear.call_sites sweep);
+  List.map
+    (fun e ->
+      let loc =
+        if Hashtbl.mem truth_set e then At_function_entry
+        else if Hashtbl.mem ir_returns e then After_indirect_return_call
+        else if Hashtbl.mem lp_set e then At_landing_pad
+        else Elsewhere
+      in
+      (e, loc))
+    endbrs
+
+type props = {
+  endbr_at_head : bool;
+  dir_jmp_target : bool;
+  dir_call_target : bool;
+}
+
+let function_props ?sweep reader ~truth =
+  let sweep = match sweep with Some s -> s | None -> Linear.sweep_text reader in
+  let endbr_set = Hashtbl.create 256 in
+  List.iter (fun a -> Hashtbl.replace endbr_set a ()) (Linear.endbr_addrs sweep);
+  let call_set = Hashtbl.create 256 in
+  List.iter (fun a -> Hashtbl.replace call_set a ()) (Linear.call_targets sweep);
+  let jmp_set = Hashtbl.create 256 in
+  List.iter (fun a -> Hashtbl.replace jmp_set a ()) (Linear.jmp_targets sweep);
+  List.map
+    (fun entry ->
+      ( entry,
+        {
+          endbr_at_head = Hashtbl.mem endbr_set entry;
+          dir_jmp_target = Hashtbl.mem jmp_set entry;
+          dir_call_target = Hashtbl.mem call_set entry;
+        } ))
+    truth
+
+let props_key p =
+  match (p.endbr_at_head, p.dir_jmp_target, p.dir_call_target) with
+  | true, false, false -> "endbr"
+  | true, false, true -> "endbr+call"
+  | true, true, false -> "endbr+jmp"
+  | true, true, true -> "endbr+jmp+call"
+  | false, false, true -> "call"
+  | false, true, true -> "jmp+call"
+  | false, true, false -> "jmp"
+  | false, false, false -> "none"

@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Cet_compiler Cet_elf Generator List Profile

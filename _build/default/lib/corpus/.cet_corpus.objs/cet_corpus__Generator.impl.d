@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Array Cet_compiler Cet_util Hashtbl List Printf Profile

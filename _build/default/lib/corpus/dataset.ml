@@ -1,0 +1,43 @@
+module Options = Cet_compiler.Options
+module Ir = Cet_compiler.Ir
+module Link = Cet_compiler.Link
+
+type binary = {
+  suite : string;
+  program : string;
+  config : Options.t;
+  lang : Ir.lang;
+  stripped : string;
+  unstripped : string;
+  truth : (string * int) list;
+}
+
+let iter ?(profiles = Profile.all) ?(configs = Options.all_grid) ~seed ~scale f =
+  List.iter
+    (fun profile ->
+      let profile = Profile.scaled scale profile in
+      for index = 0 to profile.Profile.programs - 1 do
+        let ir = Generator.program ~seed ~profile ~index in
+        List.iter
+          (fun config ->
+            let res = Link.link config ir in
+            let unstripped = Cet_elf.Writer.write res.image in
+            let stripped = Cet_elf.Writer.write ~strip:true res.image in
+            f
+              {
+                suite = profile.Profile.suite;
+                program = ir.Ir.prog_name;
+                config;
+                lang = ir.Ir.lang;
+                stripped;
+                unstripped;
+                truth = res.truth;
+              })
+          configs
+      done)
+    profiles
+
+let count ?(profiles = Profile.all) ?(configs = Options.all_grid) ~scale () =
+  List.fold_left
+    (fun acc p -> acc + (Profile.scaled scale p).Profile.programs * List.length configs)
+    0 profiles

@@ -1,0 +1,34 @@
+(** Dataset builder: the 24-configuration grid over the three suites
+    (§III-A), streamed binary by binary so evaluation never holds the whole
+    corpus in memory.
+
+    Each program's IR is generated once (the "source code") and compiled
+    under every configuration, exactly as the paper builds its 8,136
+    binaries.  Binaries are handed to the callback as stripped ELF bytes
+    plus the ground-truth entry list the unstripped counterpart would
+    yield. *)
+
+type binary = {
+  suite : string;
+  program : string;
+  config : Cet_compiler.Options.t;
+  lang : Cet_compiler.Ir.lang;
+  stripped : string;  (** stripped ELF bytes — what the tools see *)
+  unstripped : string;  (** symbol-bearing ELF bytes — ground-truth source *)
+  truth : (string * int) list;  (** function entries, paper's corrections applied *)
+}
+
+val iter :
+  ?profiles:Profile.t list ->
+  ?configs:Cet_compiler.Options.t list ->
+  seed:int ->
+  scale:float ->
+  (binary -> unit) ->
+  unit
+(** Stream the dataset.  Defaults: all three suites, the full 24-point
+    grid.  [scale] shrinks program and function counts for quick runs
+    (1.0 = paper-sized suites). *)
+
+val count : ?profiles:Profile.t list -> ?configs:Cet_compiler.Options.t list ->
+  scale:float -> unit -> int
+(** Number of binaries [iter] will produce. *)

@@ -1,0 +1,103 @@
+type class_weights = {
+  w_endbr_call : float;
+  w_endbr_only : float;
+  w_endbr_jmp_call : float;
+  w_endbr_jmp : float;
+  w_call_only : float;
+  w_jmp_call : float;
+  w_jmp_only : float;
+  w_dead : float;
+}
+
+type t = {
+  suite : string;
+  programs : int;
+  lang_cpp_fraction : float;
+  funcs_lo : int;
+  funcs_hi : int;
+  classes : class_weights;
+  p_intrinsic : float;
+  p_setjmp : float;
+  tries_per_func : float;
+  p_switch : float;
+  p_split_cold : float;
+  p_split_part : float;
+  p_part_shared : float;
+  p_multi_tail : float;
+  imports : string array;
+}
+
+(* Figure 3 of the paper, with the dead share nudged to keep dead functions
+   the dominant false-negative class (§V-C). *)
+let fig3_weights =
+  {
+    w_endbr_call = 48.85;
+    w_endbr_only = 37.79;
+    w_endbr_jmp_call = 1.44;
+    w_endbr_jmp = 1.23;
+    w_call_only = 10.01;
+    w_jmp_call = 0.44;
+    w_jmp_only = 0.23;
+    w_dead = 0.05;
+  }
+
+let c_imports =
+  [|
+    "printf"; "fprintf"; "malloc"; "free"; "memcpy"; "memset"; "strlen"; "strcmp";
+    "exit"; "fwrite"; "fread"; "open"; "close"; "read"; "write"; "getenv";
+  |]
+
+let cpp_imports =
+  Array.append c_imports [| "_Znwm"; "_ZdlPv"; "__cxa_throw"; "__cxa_allocate_exception" |]
+
+let coreutils =
+  {
+    suite = "coreutils";
+    programs = 108;
+    lang_cpp_fraction = 0.0;
+    funcs_lo = 40;
+    funcs_hi = 160;
+    classes = fig3_weights;
+    p_intrinsic = 0.0013;
+    p_setjmp = 0.00006;
+    tries_per_func = 0.0;
+    p_switch = 0.10;
+    p_split_cold = 0.02;
+    p_split_part = 0.015;
+    p_part_shared = 0.4;
+    p_multi_tail = 0.6;
+    imports = c_imports;
+  }
+
+let binutils =
+  {
+    coreutils with
+    suite = "binutils";
+    programs = 15;
+    funcs_lo = 200;
+    funcs_hi = 520;
+    p_setjmp = 0.00004;
+    p_switch = 0.12;
+  }
+
+let spec =
+  {
+    coreutils with
+    suite = "spec";
+    programs = 47;
+    lang_cpp_fraction = 0.5;
+    funcs_lo = 280;
+    funcs_hi = 900;
+    p_setjmp = 0.00004;
+    tries_per_func = 0.46;
+    p_switch = 0.10;
+    imports = cpp_imports;
+  }
+
+let all = [ coreutils; binutils; spec ]
+
+let scaled factor t =
+  (* Scaling shrinks the number of programs, not their size: per-binary
+     population statistics (Fig. 3, Table I) must stay representative. *)
+  let scale n = max 1 (int_of_float (float_of_int n *. factor)) in
+  { t with programs = scale t.programs }

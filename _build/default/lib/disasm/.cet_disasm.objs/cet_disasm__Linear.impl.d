@@ -1,0 +1,1 @@
+lib/disasm/linear.ml: Array Cet_elf Cet_x86 Hashtbl List String

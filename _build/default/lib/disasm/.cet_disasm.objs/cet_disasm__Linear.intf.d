@@ -1,0 +1,1 @@
+lib/disasm/linear.mli: Cet_elf Cet_x86

@@ -1,0 +1,167 @@
+module Arch = Cet_x86.Arch
+module Decoder = Cet_x86.Decoder
+
+type t = {
+  arch : Arch.t;
+  base : int;
+  size : int;
+  code : string;
+  insns : Decoder.ins array;
+  resync_errors : int;
+}
+
+let sweep arch ?(base = 0) code =
+  let size = String.length code in
+  let insns = ref [] in
+  let errors = ref 0 in
+  let off = ref 0 in
+  while !off < size do
+    match Decoder.decode arch code ~base ~off:!off with
+    | Ok ins ->
+      insns := ins :: !insns;
+      off := !off + ins.Decoder.len
+    | Error _ ->
+      incr errors;
+      incr off
+  done;
+  {
+    arch;
+    base;
+    size;
+    code;
+    insns = Array.of_list (List.rev !insns);
+    resync_errors = !errors;
+  }
+
+let sweep_text reader =
+  match Cet_elf.Reader.find_section reader ".text" with
+  | None -> invalid_arg "Linear.sweep_text: no .text section"
+  | Some s -> sweep (Cet_elf.Reader.arch reader) ~base:s.vaddr s.data
+
+(* Offsets of every end-branch byte pattern: F3 0F 1E FA/FB.  The pattern
+   cannot appear inside another instruction's opcode bytes the compilers
+   emit, and a false hit inside immediate data merely adds a resync point. *)
+let anchor_offsets arch code =
+  let want = match arch with Arch.X64 -> '\xfa' | Arch.X86 -> '\xfb' in
+  let out = ref [] in
+  let n = String.length code in
+  for i = n - 4 downto 0 do
+    if
+      code.[i] = '\xf3' && code.[i + 1] = '\x0f' && code.[i + 2] = '\x1e'
+      && code.[i + 3] = want
+    then out := i :: !out
+  done;
+  !out
+
+let sweep_anchored arch ?(base = 0) code =
+  let size = String.length code in
+  let anchors = Array.of_list (anchor_offsets arch code) in
+  let next_anchor_after off =
+    (* Smallest anchor > off. *)
+    let lo = ref 0 and hi = ref (Array.length anchors) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if anchors.(mid) <= off then lo := mid + 1 else hi := mid
+    done;
+    if !lo < Array.length anchors then Some anchors.(!lo) else None
+  in
+  let insns = ref [] in
+  let errors = ref 0 in
+  let off = ref 0 in
+  (* Trust tracking (probabilistic-disassembly-lite): once a decode fails,
+     everything up to the next end-branch anchor is suspected inline data
+     and its (garbage) instructions are withheld from the stream, so no
+     bogus branch targets are harvested from it. *)
+  let trusted = ref true in
+  let anchor_set = Hashtbl.create (Array.length anchors) in
+  Array.iter (fun a -> Hashtbl.replace anchor_set a ()) anchors;
+  while !off < size do
+    if Hashtbl.mem anchor_set !off then trusted := true;
+    match Decoder.decode arch code ~base ~off:!off with
+    | Ok ins -> (
+      let stop = !off + ins.Decoder.len in
+      match next_anchor_after !off with
+      | Some a when a < stop ->
+        (* The instruction would swallow an end-branch marker: the sweep
+           is desynchronised (inline data) — resynchronise at the anchor. *)
+        incr errors;
+        off := a;
+        trusted := true
+      | _ ->
+        if !trusted then insns := ins :: !insns;
+        off := stop)
+    | Error _ ->
+      incr errors;
+      trusted := false;
+      incr off
+  done;
+  {
+    arch;
+    base;
+    size;
+    code;
+    insns = Array.of_list (List.rev !insns);
+    resync_errors = !errors;
+  }
+
+let sweep_text_anchored reader =
+  match Cet_elf.Reader.find_section reader ".text" with
+  | None -> invalid_arg "Linear.sweep_text_anchored: no .text section"
+  | Some s -> sweep_anchored (Cet_elf.Reader.arch reader) ~base:s.vaddr s.data
+
+let in_range t addr = addr >= t.base && addr < t.base + t.size
+
+let sorted_distinct addrs =
+  List.sort_uniq compare addrs
+
+let endbr_addrs t =
+  let want = match t.arch with Arch.X64 -> Decoder.Endbr64 | Arch.X86 -> Decoder.Endbr32 in
+  Array.to_list t.insns
+  |> List.filter_map (fun (i : Decoder.ins) ->
+         if i.kind = want then Some i.addr else None)
+
+let call_targets t =
+  Array.to_list t.insns
+  |> List.filter_map (fun (i : Decoder.ins) ->
+         match i.kind with
+         | Decoder.Call_direct target when in_range t target -> Some target
+         | _ -> None)
+  |> sorted_distinct
+
+let jmp_targets t =
+  Array.to_list t.insns
+  |> List.filter_map (fun (i : Decoder.ins) ->
+         match i.kind with
+         | Decoder.Jmp_direct target when in_range t target -> Some target
+         | _ -> None)
+  |> sorted_distinct
+
+let call_sites t =
+  Array.to_list t.insns
+  |> List.filter_map (fun (i : Decoder.ins) ->
+         match i.kind with
+         | Decoder.Call_direct target -> Some (i.addr, i.addr + i.len, target)
+         | _ -> None)
+
+let jmp_refs t =
+  Array.to_list t.insns
+  |> List.filter_map (fun (i : Decoder.ins) ->
+         match i.kind with
+         | Decoder.Jmp_direct target when in_range t target -> Some (i.addr, target)
+         | _ -> None)
+
+let insn_at t addr =
+  (* Instructions are in address order: binary search. *)
+  let lo = ref 0 and hi = ref (Array.length t.insns) in
+  let found = ref None in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let i = t.insns.(mid) in
+    if i.Decoder.addr = addr then begin
+      found := Some i;
+      lo := !hi
+    end
+    else if i.Decoder.addr < addr then lo := mid + 1
+    else hi := mid
+  done;
+  !found

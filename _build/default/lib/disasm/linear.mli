@@ -1,0 +1,60 @@
+(** Linear-sweep disassembly (§IV-B of the paper).
+
+    The sweep decodes from the start of a code region to its end; on a
+    decode failure it advances one byte and resumes, exactly as FunSeeker's
+    DISASSEMBLE does.  The result keeps the full instruction stream (used by
+    the baselines' analyses) plus the index structures FunSeeker needs. *)
+
+type t = {
+  arch : Cet_x86.Arch.t;
+  base : int;  (** virtual address of the first byte *)
+  size : int;
+  code : string;  (** the swept bytes (byte signatures need them) *)
+  insns : Cet_x86.Decoder.ins array;  (** in address order *)
+  resync_errors : int;  (** decode failures recovered by skipping a byte *)
+}
+
+val sweep : Cet_x86.Arch.t -> ?base:int -> string -> t
+(** Disassemble a whole code blob (default [base] 0). *)
+
+val sweep_text : Cet_elf.Reader.t -> t
+(** Sweep the [.text] section of an ELF image.
+    Raises [Invalid_argument] when the image has no [.text]. *)
+
+val sweep_anchored : Cet_x86.Arch.t -> ?base:int -> string -> t
+(** CET-aware sweep (the §VI superset-disassembly direction): end-branch
+    byte patterns are unambiguous 4-byte markers, so every occurrence is
+    forced to be an instruction boundary.  When a decoded instruction
+    would straddle an anchor — which happens when inline data (e.g. a
+    jump table in [.text]) desynchronised the sweep — the sweep discards
+    it and restarts at the anchor.  On binaries without inline data the
+    result equals {!sweep}. *)
+
+val sweep_text_anchored : Cet_elf.Reader.t -> t
+
+val in_range : t -> int -> bool
+(** Is the address inside the swept region? *)
+
+val endbr_addrs : t -> int list
+(** Addresses of end-branch markers matching the architecture
+    ([endbr64] on x86-64, [endbr32] on x86), in address order. *)
+
+val call_targets : t -> int list
+(** Distinct direct-call targets that land inside the swept region,
+    sorted. *)
+
+val jmp_targets : t -> int list
+(** Distinct targets of unconditional direct jumps landing inside the
+    region, sorted.  Conditional branches are excluded: only unconditional
+    jumps can be tail calls. *)
+
+val call_sites : t -> (int * int * int) list
+(** Direct call sites as [(site_addr, return_addr, target)] — including
+    calls leaving the region (PLT calls), which FILTERENDBR inspects. *)
+
+val jmp_refs : t -> (int * int) list
+(** Unconditional direct jumps as [(site_addr, target)], targets inside the
+    region only. *)
+
+val insn_at : t -> int -> Cet_x86.Decoder.ins option
+(** The instruction starting exactly at the given address, if any. *)

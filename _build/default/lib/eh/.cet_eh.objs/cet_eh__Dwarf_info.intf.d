@@ -1,0 +1,1 @@
+lib/eh/dwarf_info.mli:

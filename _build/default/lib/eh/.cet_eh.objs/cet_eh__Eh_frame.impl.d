@@ -1,0 +1,1 @@
+lib/eh/eh_frame.ml: Buffer Cet_util Char Hashtbl List Pointer_enc Printf String

@@ -1,0 +1,1 @@
+lib/eh/eh_frame.mli:

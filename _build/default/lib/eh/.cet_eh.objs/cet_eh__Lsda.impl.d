@@ -1,0 +1,1 @@
+lib/eh/lsda.ml: Cet_util List Pointer_enc String

@@ -1,0 +1,1 @@
+lib/eh/lsda.mli:

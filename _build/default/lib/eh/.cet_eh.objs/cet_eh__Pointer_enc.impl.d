@@ -1,0 +1,1 @@
+lib/eh/pointer_enc.ml: Cet_util Printf

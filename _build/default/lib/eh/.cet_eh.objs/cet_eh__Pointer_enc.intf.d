@@ -1,0 +1,1 @@
+lib/eh/pointer_enc.mli: Cet_util

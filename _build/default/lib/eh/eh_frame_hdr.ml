@@ -1,0 +1,47 @@
+module W = Cet_util.Bytesio.W
+module R = Cet_util.Bytesio.R
+
+type entry = { initial_loc : int; fde_addr : int }
+
+(* DW_EH_PE_pcrel|sdata4 for the eh_frame pointer, udata4 for the count,
+   DW_EH_PE_datarel|sdata4 (0x3b) for table entries — the GNU defaults. *)
+let enc_frame_ptr = 0x1b
+let enc_count = 0x03
+let enc_table = 0x3b
+
+let size n = 4 + 4 + 4 + (8 * n)
+
+let encode ~vaddr ~eh_frame_vaddr entries =
+  let entries =
+    List.sort (fun a b -> compare a.initial_loc b.initial_loc) entries
+  in
+  let w = W.create ~size:(size (List.length entries)) () in
+  W.u8 w 1 (* version *);
+  W.u8 w enc_frame_ptr;
+  W.u8 w enc_count;
+  W.u8 w enc_table;
+  W.i32 w (eh_frame_vaddr - (vaddr + 4));
+  W.u32 w (List.length entries);
+  List.iter
+    (fun e ->
+      (* datarel: relative to the section start *)
+      W.i32 w (e.initial_loc - vaddr);
+      W.i32 w (e.fde_addr - vaddr))
+    entries;
+  W.contents w
+
+let decode ~vaddr data =
+  let r = R.of_string data in
+  let version = R.u8 r in
+  if version <> 1 then invalid_arg "Eh_frame_hdr.decode: version";
+  let e_ptr = R.u8 r in
+  let e_count = R.u8 r in
+  let e_table = R.u8 r in
+  if e_ptr <> enc_frame_ptr || e_count <> enc_count || e_table <> enc_table then
+    invalid_arg "Eh_frame_hdr.decode: unsupported encodings";
+  ignore (R.i32 r) (* eh_frame pointer *);
+  let n = R.u32 r in
+  List.init n (fun _ ->
+      let loc = R.i32 r in
+      let fde = R.i32 r in
+      { initial_loc = vaddr + loc; fde_addr = vaddr + fde })

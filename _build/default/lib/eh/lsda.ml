@@ -1,0 +1,107 @@
+module W = Cet_util.Bytesio.W
+module R = Cet_util.Bytesio.R
+
+type call_site = {
+  cs_start : int;
+  cs_len : int;
+  cs_landing_pad : int;
+  cs_action : int;
+}
+
+type t = { call_sites : call_site list; type_count : int }
+
+let encode t =
+  let w = W.create ~size:64 () in
+  W.u8 w Pointer_enc.omit (* LPStart: function start *);
+  (* Call-site table body, built first so its length is known. *)
+  let cs = W.create ~size:64 () in
+  List.iter
+    (fun c ->
+      W.uleb cs c.cs_start;
+      W.uleb cs c.cs_len;
+      W.uleb cs c.cs_landing_pad;
+      W.uleb cs c.cs_action)
+    t.call_sites;
+  let cs_bytes = W.contents cs in
+  if t.type_count = 0 then begin
+    W.u8 w Pointer_enc.omit (* no types table *);
+    W.u8 w Pointer_enc.uleb (* call-site encoding *);
+    W.uleb w (String.length cs_bytes);
+    W.bytes w cs_bytes
+  end
+  else begin
+    W.u8 w Pointer_enc.udata4;
+    (* Action table: one two-byte record per type (filter index, next=0);
+       types table: [type_count] 4-byte entries (null = catch-all in real
+       tables; the analyses here never dereference them). *)
+    let action_len = 2 * t.type_count in
+    let types_len = 4 * t.type_count in
+    let cs_hdr_len = Cet_util.Leb128.size_u (String.length cs_bytes) in
+    (* TTBase offset: from just after this uleb to the end of the types
+       table. *)
+    let after_ttbase_to_end body_len = body_len in
+    let body_len = 1 + cs_hdr_len + String.length cs_bytes + action_len + types_len in
+    W.uleb w (after_ttbase_to_end body_len);
+    W.u8 w Pointer_enc.uleb;
+    W.uleb w (String.length cs_bytes);
+    W.bytes w cs_bytes;
+    for i = 1 to t.type_count do
+      W.uleb w i (* filter *);
+      W.uleb w 0 (* next action *)
+    done;
+    W.zeros w types_len
+  end;
+  W.contents w
+
+let build_table lsdas =
+  let w = W.create ~size:1024 () in
+  let offsets =
+    List.map
+      (fun l ->
+        W.align w 4;
+        let off = W.length w in
+        W.bytes w (encode l);
+        off)
+      lsdas
+  in
+  (W.contents w, offsets)
+
+let decode data ~off =
+  let r = R.sub data ~pos:off ~len:(String.length data - off) in
+  let lpstart_enc = R.u8 r in
+  if lpstart_enc <> Pointer_enc.omit then
+    invalid_arg "Lsda.decode: explicit LPStart unsupported";
+  let ttype_enc = R.u8 r in
+  let type_count_hint = ref 0 in
+  if ttype_enc <> Pointer_enc.omit then ignore (R.uleb r (* TTBase offset *));
+  let cs_enc = R.u8 r in
+  if cs_enc <> Pointer_enc.uleb then invalid_arg "Lsda.decode: call-site encoding";
+  let cs_len = R.uleb r in
+  let cs_end = R.pos r + cs_len in
+  let sites = ref [] in
+  while R.pos r < cs_end do
+    let cs_start = R.uleb r in
+    let len = R.uleb r in
+    let lp = R.uleb r in
+    let action = R.uleb r in
+    sites := { cs_start; cs_len = len; cs_landing_pad = lp; cs_action = action } :: !sites
+  done;
+  (* Recover the type count from the action table when present: records are
+     (filter, 0) pairs as emitted by [encode]. *)
+  if ttype_enc <> Pointer_enc.omit then begin
+    let rec count n =
+      match R.uleb r with
+      | filter when filter > 0 ->
+        let _next = R.uleb r in
+        count (max n filter)
+      | _ -> n
+      | exception R.Out_of_bounds _ -> n
+    in
+    type_count_hint := count 0
+  end;
+  { call_sites = List.rev !sites; type_count = !type_count_hint }
+
+let landing_pads t ~func_start =
+  List.filter_map
+    (fun c -> if c.cs_landing_pad = 0 then None else Some (func_start + c.cs_landing_pad))
+    t.call_sites

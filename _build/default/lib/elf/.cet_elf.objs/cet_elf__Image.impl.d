@@ -1,0 +1,1 @@
+lib/elf/image.ml: Cet_x86 Consts List Symbol

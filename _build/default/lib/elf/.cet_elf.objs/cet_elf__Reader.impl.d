@@ -1,0 +1,1 @@
+lib/elf/reader.ml: Array Cet_util Cet_x86 Char Consts Image List Printf String Symbol

@@ -1,0 +1,1 @@
+lib/elf/reader.mli: Cet_x86 Image Symbol

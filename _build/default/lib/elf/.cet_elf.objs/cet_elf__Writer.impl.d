@@ -1,0 +1,1 @@
+lib/elf/writer.ml: Buffer Cet_util Cet_x86 Consts Hashtbl Image List String Symbol

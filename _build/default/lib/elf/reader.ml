@@ -1,0 +1,266 @@
+module R = Cet_util.Bytesio.R
+module Arch = Cet_x86.Arch
+
+type section = {
+  name : string;
+  sh_type : int;
+  flags : int;
+  vaddr : int;
+  size : int;
+  entsize : int;
+  addralign : int;
+  data : string;
+}
+
+type t = {
+  arch : Arch.t;
+  machine : int;
+  pie : bool;
+  entry : int;
+  sections : section list;
+}
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let cstring data off =
+  match String.index_from_opt data off '\000' with
+  | Some stop -> String.sub data off (stop - off)
+  | None -> fail "unterminated string at %d" off
+
+let read_exn bytes =
+  if String.length bytes < 52 then fail "file too short";
+  if String.sub bytes 0 4 <> "\x7fELF" then fail "bad magic";
+  let cls = Char.code bytes.[4] in
+  let arch =
+    if cls = Consts.elfclass64 then Arch.X64
+    else if cls = Consts.elfclass32 then Arch.X86
+    else fail "bad class %d" cls
+  in
+  if Char.code bytes.[5] <> Consts.elfdata2lsb then fail "not little-endian";
+  let is64 = arch = Arch.X64 in
+  let r = R.of_string bytes in
+  R.seek r 16;
+  let e_type = R.u16 r in
+  let machine = R.u16 r in
+  if is64 && machine <> Consts.em_x86_64 && machine <> Consts.em_aarch64 then
+    fail "machine/class mismatch";
+  if (not is64) && machine <> Consts.em_386 then fail "machine/class mismatch";
+  ignore (R.u32 r) (* version *);
+  let addr () = if is64 then R.u64 r else R.u32 r in
+  let entry = addr () in
+  let _phoff = addr () in
+  let shoff = addr () in
+  ignore (R.u32 r) (* flags *);
+  ignore (R.u16 r) (* ehsize *);
+  ignore (R.u16 r) (* phentsize *);
+  ignore (R.u16 r) (* phnum *);
+  let shentsize = R.u16 r in
+  let shnum = R.u16 r in
+  let shstrndx = R.u16 r in
+  if shnum = 0 then fail "no sections";
+  let read_shdr i =
+    R.seek r (shoff + (i * shentsize));
+    let name_off = R.u32 r in
+    let sh_type = R.u32 r in
+    let flags = addr () in
+    let vaddr = addr () in
+    let offset = addr () in
+    let size = addr () in
+    ignore (R.u32 r) (* link *);
+    ignore (R.u32 r) (* info *);
+    let addralign = addr () in
+    let entsize = addr () in
+    (name_off, sh_type, flags, vaddr, offset, size, entsize, addralign)
+  in
+  let raw = List.init shnum read_shdr in
+  let _, _, _, _, str_off, str_size, _, _ =
+    try List.nth raw shstrndx with Failure _ -> fail "bad shstrndx"
+  in
+  let shstr = String.sub bytes str_off str_size in
+  let sections =
+    List.filteri (fun i _ -> i > 0) raw
+    |> List.map (fun (name_off, sh_type, flags, vaddr, offset, size, entsize, addralign) ->
+           let data =
+             if sh_type = Consts.sht_nobits then ""
+             else if offset + size > String.length bytes then fail "section overflow"
+             else String.sub bytes offset size
+           in
+           {
+             name = cstring shstr name_off;
+             sh_type;
+             flags;
+             vaddr;
+             size;
+             entsize;
+             addralign;
+             data;
+           })
+  in
+  { arch; machine; pie = e_type = Consts.et_dyn; entry; sections }
+
+let read bytes =
+  try read_exn bytes with
+  | Malformed _ as e -> raise e
+  | Cet_util.Bytesio.R.Out_of_bounds what -> fail "truncated structure (%s)" what
+  | Invalid_argument what -> fail "malformed structure (%s)" what
+
+let arch t = t.arch
+let machine t = t.machine
+let pie t = t.pie
+let entry t = t.entry
+let sections t = t.sections
+let find_section t name = List.find_opt (fun s -> s.name = name) t.sections
+
+let parse_symtab t ~symtab ~strtab =
+  match (find_section t symtab, find_section t strtab) with
+  | Some sym, Some str ->
+    let is64 = t.arch = Arch.X64 in
+    let esize = if is64 then 24 else 16 in
+    if String.length sym.data mod esize <> 0 then fail "ragged symtab";
+    let count = String.length sym.data / esize in
+    let r = R.of_string sym.data in
+    let sec_name shndx =
+      if shndx = Consts.shn_undef || shndx >= 0xff00 then None
+      else
+        match List.nth_opt t.sections (shndx - 1) with
+        | Some s -> Some s.name
+        | None -> None
+    in
+    List.init count (fun i ->
+        R.seek r (i * esize);
+        let name_off = R.u32 r in
+        let value, size, info, shndx =
+          if is64 then begin
+            let info = R.u8 r in
+            ignore (R.u8 r);
+            let shndx = R.u16 r in
+            let value = R.u64 r in
+            let size = R.u64 r in
+            (value, size, info, shndx)
+          end
+          else begin
+            let value = R.u32 r in
+            let size = R.u32 r in
+            let info = R.u8 r in
+            ignore (R.u8 r);
+            let shndx = R.u16 r in
+            (value, size, info, shndx)
+          end
+        in
+        let kind =
+          match Symbol.kind_of_code (info land 0xf) with
+          | Some k -> k
+          | None -> Symbol.Notype
+        in
+        let bind =
+          match Symbol.bind_of_code (info lsr 4) with
+          | Some b -> b
+          | None -> Symbol.Global
+        in
+        {
+          Symbol.name = cstring str.data name_off;
+          value;
+          size;
+          kind;
+          bind;
+          section = sec_name shndx;
+        })
+  | _ -> []
+
+let symbols t =
+  match parse_symtab t ~symtab:".symtab" ~strtab:".strtab" with
+  | [] -> []
+  | _null :: rest -> rest
+  | exception Malformed _ -> []
+
+let dyn_symbols t = Array.of_list (parse_symtab t ~symtab:".dynsym" ~strtab:".dynstr")
+
+let plt_relocs t =
+  let dynsyms = dyn_symbols t in
+  let of_section name rela =
+    match find_section t name with
+    | None -> []
+    | Some s ->
+      let is64 = t.arch = Arch.X64 in
+      let esize = if is64 then (if rela then 24 else 16) else if rela then 12 else 8 in
+      let count = String.length s.data / esize in
+      let r = R.of_string s.data in
+      List.init count (fun i ->
+          R.seek r (i * esize);
+          let offset = if is64 then R.u64 r else R.u32 r in
+          let info = if is64 then R.u64 r else R.u32 r in
+          let sym = if is64 then info lsr 32 else info lsr 8 in
+          let name =
+            if sym < Array.length dynsyms then dynsyms.(sym).Symbol.name
+            else fail "reloc sym out of range"
+          in
+          (offset, name))
+  in
+  match t.arch with
+  | Arch.X64 -> of_section ".rela.plt" true
+  | Arch.X86 -> of_section ".rel.plt" false
+
+let cet_enabled t =
+  match find_section t ".note.gnu.property" with
+  | None -> false
+  | Some s -> (
+    try
+      let r = R.of_string s.data in
+      let namesz = R.u32 r in
+      let _descsz = R.u32 r in
+      let ntype = R.u32 r in
+      let name = R.bytes r namesz in
+      if ntype <> Consts.nt_gnu_property_type_0 || name <> "GNU\000" then false
+      else begin
+        let pr_type = R.u32 r in
+        let _datasz = R.u32 r in
+        let data = R.u32 r in
+        pr_type = Consts.gnu_property_x86_feature_1_and
+        && data land Consts.gnu_property_x86_feature_1_ibt <> 0
+      end
+    with R.Out_of_bounds _ -> false)
+
+let derived_sections =
+  [
+    ".note.gnu.property";
+    ".dynsym";
+    ".dynstr";
+    ".rel.plt";
+    ".rela.plt";
+    ".symtab";
+    ".strtab";
+    ".shstrtab";
+  ]
+
+let to_image t =
+  let content =
+    List.filter (fun s -> not (List.mem s.name derived_sections)) t.sections
+  in
+  {
+    Image.arch = t.arch;
+    machine =
+      (if t.machine = Consts.em_x86_64 || t.machine = Consts.em_386 then None
+       else Some t.machine);
+    pie = t.pie;
+    cet_note = find_section t ".note.gnu.property" <> None;
+    entry = t.entry;
+    sections =
+      List.map
+        (fun s ->
+          {
+            Image.name = s.name;
+            sh_type = s.sh_type;
+            flags = s.flags;
+            vaddr = s.vaddr;
+            addralign = s.addralign;
+            entsize = s.entsize;
+            data = s.data;
+          })
+        content;
+    symbols = symbols t;
+    dynsyms =
+      (match Array.to_list (dyn_symbols t) with [] -> [] | _null :: rest -> rest);
+    plt_relocs = plt_relocs t;
+  }

@@ -1,0 +1,49 @@
+(** ELF executable parser: the front half of PARSE in the FunSeeker
+    algorithm, also used by the baseline tools and the ground-truth
+    extractor. *)
+
+type section = {
+  name : string;
+  sh_type : int;
+  flags : int;
+  vaddr : int;
+  size : int;
+  entsize : int;
+  addralign : int;
+  data : string;
+}
+
+type t
+
+exception Malformed of string
+
+val read : string -> t
+(** Parse ELF bytes. Raises {!Malformed} on anything structurally broken. *)
+
+val arch : t -> Cet_x86.Arch.t
+
+val machine : t -> int
+(** Raw [e_machine] (EM_386, EM_X86_64, or EM_AARCH64 for the BTI
+    extension). *)
+
+val pie : t -> bool
+val entry : t -> int
+val sections : t -> section list
+val find_section : t -> string -> section option
+val symbols : t -> Symbol.t list
+(** [.symtab] contents (empty for stripped binaries). *)
+
+val dyn_symbols : t -> Symbol.t array
+(** [.dynsym] contents including the null entry at index 0. *)
+
+val plt_relocs : t -> (int * string) list
+(** [(got_slot_vaddr, import_name)] pairs from [.rel(a).plt], in table
+    order — the order PLT stubs are laid out in. *)
+
+val cet_enabled : t -> bool
+(** True iff [.note.gnu.property] carries the IBT feature bit. *)
+
+val to_image : t -> Image.t
+(** Reconstruct a writable image (used by {!Strip}).  Derived sections
+    ([.symtab], [.dynsym], notes, string tables…) are not duplicated into
+    [Image.sections]; they are regenerated on write. *)

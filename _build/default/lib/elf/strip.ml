@@ -1,0 +1,3 @@
+let strip bytes =
+  let img = Reader.to_image (Reader.read bytes) in
+  Writer.write ~strip:true img

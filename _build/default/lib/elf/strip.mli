@@ -1,0 +1,7 @@
+(** Symbol stripping, mirroring [strip(1)]: drops [.symtab]/[.strtab] while
+    keeping everything the loader (and FunSeeker) needs — notably
+    [.gcc_except_table], which the paper stresses cannot be stripped. *)
+
+val strip : string -> string
+(** [strip bytes] parses an ELF file and re-serialises it without its static
+    symbol table. *)

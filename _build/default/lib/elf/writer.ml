@@ -1,0 +1,387 @@
+module W = Cet_util.Bytesio.W
+module Arch = Cet_x86.Arch
+
+type finished_section = {
+  f_name : string;
+  f_type : int;
+  f_flags : int;
+  f_vaddr : int;
+  f_link : string;  (* section name or "" *)
+  f_info : int;
+  f_align : int;
+  f_entsize : int;
+  f_data : string;
+}
+
+let of_image_section (s : Image.section) =
+  {
+    f_name = s.name;
+    f_type = s.sh_type;
+    f_flags = s.flags;
+    f_vaddr = s.vaddr;
+    f_link = "";
+    f_info = 0;
+    f_align = s.addralign;
+    f_entsize = s.entsize;
+    f_data = s.data;
+  }
+
+(* String table with classic layout: leading NUL, then each string. *)
+let build_strtab names =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '\000';
+  let offsets = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem offsets n) then begin
+        Hashtbl.replace offsets n (Buffer.length buf);
+        Buffer.add_string buf n;
+        Buffer.add_char buf '\000'
+      end)
+    names;
+  (Buffer.contents buf, fun n -> if n = "" then 0 else Hashtbl.find offsets n)
+
+let note_gnu_property arch =
+  let w = W.create () in
+  let word_align = match arch with Arch.X64 -> 8 | Arch.X86 -> 4 in
+  W.u32 w 4 (* namesz: "GNU\0" *);
+  (* descsz: pr_type + pr_datasz + data(4) padded to word size *)
+  let desc_size = 8 + ((4 + word_align - 1) / word_align * word_align) in
+  W.u32 w desc_size;
+  W.u32 w Consts.nt_gnu_property_type_0;
+  W.bytes w "GNU\000";
+  W.u32 w Consts.gnu_property_x86_feature_1_and;
+  W.u32 w 4 (* pr_datasz *);
+  W.u32 w (Consts.gnu_property_x86_feature_1_ibt lor Consts.gnu_property_x86_feature_1_shstk);
+  W.align w word_align;
+  W.contents w
+
+let sym_entry arch ~nameoff ~shndx (s : Symbol.t) =
+  let w = W.create ~size:24 () in
+  let info = (Symbol.bind_code s.bind lsl 4) lor Symbol.kind_code s.kind in
+  (match arch with
+  | Arch.X86 ->
+    W.u32 w nameoff;
+    W.u32 w s.value;
+    W.u32 w s.size;
+    W.u8 w info;
+    W.u8 w 0;
+    W.u16 w shndx
+  | Arch.X64 ->
+    W.u32 w nameoff;
+    W.u8 w info;
+    W.u8 w 0;
+    W.u16 w shndx;
+    W.u64 w s.value;
+    W.u64 w s.size);
+  W.contents w
+
+(* Sort locals first (required: sh_info is the first non-local index). *)
+let sort_symbols syms =
+  let locals, globals = List.partition (fun (s : Symbol.t) -> s.bind = Symbol.Local) syms in
+  (locals @ globals, List.length locals)
+
+let build_symtab arch syms ~shndx_of =
+  let syms, nlocals = sort_symbols syms in
+  let strtab, stroff = build_strtab (List.map (fun (s : Symbol.t) -> s.name) syms) in
+  let w = W.create () in
+  (* Index 0: the null symbol. *)
+  W.bytes w
+    (sym_entry arch ~nameoff:0 ~shndx:0
+       {
+         Symbol.name = "";
+         value = 0;
+         size = 0;
+         kind = Symbol.Notype;
+         bind = Symbol.Local;
+         section = None;
+       });
+  List.iter
+    (fun (s : Symbol.t) ->
+      let shndx =
+        match s.section with None -> Consts.shn_undef | Some sec -> shndx_of sec
+      in
+      W.bytes w (sym_entry arch ~nameoff:(stroff s.name) ~shndx s))
+    syms;
+  (W.contents w, strtab, nlocals + 1, syms)
+
+let build_plt_relocs arch relocs ~sym_index =
+  let w = W.create () in
+  List.iter
+    (fun (slot, name) ->
+      let sym = sym_index name in
+      match arch with
+      | Arch.X86 ->
+        W.u32 w slot;
+        W.u32 w ((sym lsl 8) lor Consts.r_386_jmp_slot)
+      | Arch.X64 ->
+        W.u64 w slot;
+        W.u64 w ((sym lsl 32) lor Consts.r_x86_64_jump_slot);
+        W.u64 w 0)
+    relocs;
+  W.contents w
+
+let write ?(strip = false) (img : Image.t) =
+  let arch = img.arch in
+  let is64 = arch = Arch.X64 in
+  let ehdr_size = if is64 then 64 else 52 in
+  let phent = if is64 then 56 else 32 in
+  let shent = if is64 then 64 else 40 in
+  let is_debug name =
+    String.length name >= 7 && String.sub name 0 7 = ".debug_"
+  in
+  let content_sections =
+    if strip then List.filter (fun (s : Image.section) -> not (is_debug s.name)) img.sections
+    else img.sections
+  in
+  let content = List.map of_image_section content_sections in
+  let note_sections =
+    if not img.cet_note then []
+    else
+      [
+        {
+          f_name = ".note.gnu.property";
+          f_type = Consts.sht_note;
+          f_flags = Consts.shf_alloc;
+          f_vaddr = 0;
+          f_link = "";
+          f_info = 0;
+          f_align = (if is64 then 8 else 4);
+          f_entsize = 0;
+          f_data = note_gnu_property arch;
+        };
+      ]
+  in
+  (* Final section-name order decides header indices; compute it up front so
+     symbol st_shndx values can be resolved. *)
+  let dyn_sections_names =
+    if img.dynsyms = [] then []
+    else [ ".dynsym"; ".dynstr" ] @ if img.plt_relocs = [] then [] else
+      [ (if is64 then ".rela.plt" else ".rel.plt") ]
+  in
+  let symtab_names = if strip then [] else [ ".symtab"; ".strtab" ] in
+  let all_names =
+    [ "" ]
+    @ List.map (fun s -> s.f_name) content
+    @ List.map (fun s -> s.f_name) note_sections
+    @ dyn_sections_names @ symtab_names @ [ ".shstrtab" ]
+  in
+  let shndx_of name =
+    let rec find i = function
+      | [] -> invalid_arg ("Writer: unknown section " ^ name)
+      | n :: rest -> if n = name then i else find (i + 1) rest
+    in
+    find 0 all_names
+  in
+  (* Dynamic symbols + PLT relocations. *)
+  let dyn_sections =
+    if img.dynsyms = [] then []
+    else begin
+      let dynsym_data, dynstr_data, dnlocals, sorted =
+        build_symtab arch img.dynsyms ~shndx_of
+      in
+      let sym_index name =
+        let rec find i = function
+          | [] -> invalid_arg ("Writer: plt reloc for unknown dynsym " ^ name)
+          | (s : Symbol.t) :: rest -> if s.name = name then i else find (i + 1) rest
+        in
+        find 1 sorted
+      in
+      let dynsym =
+        {
+          f_name = ".dynsym";
+          f_type = Consts.sht_dynsym;
+          f_flags = Consts.shf_alloc;
+          f_vaddr = 0;
+          f_link = ".dynstr";
+          f_info = dnlocals;
+          f_align = (if is64 then 8 else 4);
+          f_entsize = (if is64 then 24 else 16);
+          f_data = dynsym_data;
+        }
+      and dynstr =
+        {
+          f_name = ".dynstr";
+          f_type = Consts.sht_strtab;
+          f_flags = Consts.shf_alloc;
+          f_vaddr = 0;
+          f_link = "";
+          f_info = 0;
+          f_align = 1;
+          f_entsize = 0;
+          f_data = dynstr_data;
+        }
+      in
+      let relplt =
+        if img.plt_relocs = [] then []
+        else
+          [
+            {
+              f_name = (if is64 then ".rela.plt" else ".rel.plt");
+              f_type = (if is64 then Consts.sht_rela else Consts.sht_rel);
+              f_flags = Consts.shf_alloc;
+              f_vaddr = 0;
+              f_link = ".dynsym";
+              f_info = 0;
+              f_align = (if is64 then 8 else 4);
+              f_entsize = (if is64 then 24 else 8);
+              f_data = build_plt_relocs arch img.plt_relocs ~sym_index;
+            };
+          ]
+      in
+      [ dynsym; dynstr ] @ relplt
+    end
+  in
+  let symtab_sections =
+    if strip then []
+    else begin
+      let symtab_data, strtab_data, nlocals, _ = build_symtab arch img.symbols ~shndx_of in
+      [
+        {
+          f_name = ".symtab";
+          f_type = Consts.sht_symtab;
+          f_flags = 0;
+          f_vaddr = 0;
+          f_link = ".strtab";
+          f_info = nlocals;
+          f_align = (if is64 then 8 else 4);
+          f_entsize = (if is64 then 24 else 16);
+          f_data = symtab_data;
+        };
+        {
+          f_name = ".strtab";
+          f_type = Consts.sht_strtab;
+          f_flags = 0;
+          f_vaddr = 0;
+          f_link = "";
+          f_info = 0;
+          f_align = 1;
+          f_entsize = 0;
+          f_data = strtab_data;
+        };
+      ]
+    end
+  in
+  let shstrtab_data, shstroff =
+    build_strtab (List.filter (fun n -> n <> "") all_names)
+  in
+  let shstrtab =
+    {
+      f_name = ".shstrtab";
+      f_type = Consts.sht_strtab;
+      f_flags = 0;
+      f_vaddr = 0;
+      f_link = "";
+      f_info = 0;
+      f_align = 1;
+      f_entsize = 0;
+      f_data = shstrtab_data;
+    }
+  in
+  let sections = content @ note_sections @ dyn_sections @ symtab_sections @ [ shstrtab ] in
+  assert (List.length sections + 1 = List.length all_names);
+  (* Program headers: one PT_LOAD per allocatable content section. *)
+  let loadable = List.filter (fun s -> s.f_flags land Consts.shf_alloc <> 0 && s.f_vaddr <> 0) sections in
+  let phnum = List.length loadable in
+  (* Assign file offsets. *)
+  let off = ref (ehdr_size + (phnum * phent)) in
+  let offsets =
+    List.map
+      (fun s ->
+        let align = max 1 s.f_align in
+        let rem = !off mod align in
+        if rem <> 0 then off := !off + (align - rem);
+        let o = !off in
+        off := !off + String.length s.f_data;
+        (s, o))
+      sections
+  in
+  let shoff =
+    let o = !off in
+    let align = if is64 then 8 else 4 in
+    o + ((align - (o mod align)) mod align)
+  in
+  let w = W.create ~size:65536 () in
+  (* ELF header *)
+  W.bytes w "\x7fELF";
+  W.u8 w (if is64 then Consts.elfclass64 else Consts.elfclass32);
+  W.u8 w Consts.elfdata2lsb;
+  W.u8 w Consts.ev_current;
+  W.zeros w 9;
+  W.u16 w (if img.pie then Consts.et_dyn else Consts.et_exec);
+  let machine =
+    match img.machine with
+    | Some m -> m
+    | None -> if is64 then Consts.em_x86_64 else Consts.em_386
+  in
+  W.u16 w machine;
+  W.u32 w Consts.ev_current;
+  let addr v = if is64 then W.u64 w v else W.u32 w v in
+  addr img.entry;
+  addr (ehdr_size (* e_phoff *));
+  addr shoff;
+  W.u32 w 0 (* e_flags *);
+  W.u16 w ehdr_size;
+  W.u16 w phent;
+  W.u16 w phnum;
+  W.u16 w shent;
+  W.u16 w (List.length sections + 1);
+  W.u16 w (shndx_of ".shstrtab");
+  assert (W.length w = ehdr_size);
+  (* Program headers *)
+  List.iter
+    (fun s ->
+      let o = List.assq s offsets in
+      let flags =
+        Consts.pf_r
+        lor (if s.f_flags land Consts.shf_execinstr <> 0 then Consts.pf_x else 0)
+        lor if s.f_flags land Consts.shf_write <> 0 then Consts.pf_w else 0
+      in
+      let size = String.length s.f_data in
+      if is64 then begin
+        W.u32 w Consts.pt_load;
+        W.u32 w flags;
+        W.u64 w o;
+        W.u64 w s.f_vaddr;
+        W.u64 w s.f_vaddr;
+        W.u64 w size;
+        W.u64 w size;
+        W.u64 w (max 1 s.f_align)
+      end
+      else begin
+        W.u32 w Consts.pt_load;
+        W.u32 w o;
+        W.u32 w s.f_vaddr;
+        W.u32 w s.f_vaddr;
+        W.u32 w size;
+        W.u32 w size;
+        W.u32 w flags;
+        W.u32 w (max 1 s.f_align)
+      end)
+    loadable;
+  (* Section contents *)
+  List.iter
+    (fun (s, o) ->
+      W.pad_to w o;
+      W.bytes w s.f_data)
+    offsets;
+  (* Section headers *)
+  W.pad_to w shoff;
+  let shdr s o =
+    W.u32 w (shstroff s.f_name);
+    W.u32 w s.f_type;
+    addr s.f_flags;
+    addr s.f_vaddr;
+    addr o;
+    addr (String.length s.f_data);
+    W.u32 w (if s.f_link = "" then 0 else shndx_of s.f_link);
+    W.u32 w s.f_info;
+    addr (max 1 s.f_align);
+    addr s.f_entsize
+  in
+  (* Null section header *)
+  for _ = 1 to shent / 4 do
+    W.u32 w 0
+  done;
+  List.iter (fun (s, o) -> shdr s o) offsets;
+  W.contents w

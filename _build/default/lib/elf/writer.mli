@@ -1,0 +1,14 @@
+(** Serialisation of {!Image.t} into ELF32 / ELF64 executable bytes.
+
+    In addition to the image's content sections, the writer derives and
+    appends: [.note.gnu.property] (marking the binary IBT+SHSTK enabled, as
+    CET-aware toolchains do), [.dynsym]/[.dynstr] and [.rel.plt] (x86) or
+    [.rela.plt] (x86-64) when the image imports functions, [.symtab]/[.strtab]
+    unless [strip] is set, and [.shstrtab].  One [PT_LOAD] program header is
+    emitted per allocatable section. *)
+
+val write : ?strip:bool -> Image.t -> string
+(** [write ~strip img] returns the ELF file bytes.  [strip] (default false)
+    omits [.symtab]/[.strtab] and every [.debug_*] section, exactly like
+    [strip(1)] — the evaluation runs all identification tools on stripped
+    images. *)

@@ -1,0 +1,1 @@
+lib/eval/ground_truth.ml: Cet_eh Cet_elf Filename List String

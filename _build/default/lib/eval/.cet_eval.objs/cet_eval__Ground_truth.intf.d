@@ -1,0 +1,1 @@
+lib/eval/ground_truth.mli: Cet_elf

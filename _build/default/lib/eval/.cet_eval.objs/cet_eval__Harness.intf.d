@@ -1,0 +1,1 @@
+lib/eval/harness.mli: Cet_compiler Cet_corpus Cet_x86 Metrics Tables

@@ -1,0 +1,1 @@
+lib/eval/tables.ml: Buffer Core Hashtbl List Metrics Printf String

@@ -1,0 +1,1 @@
+lib/eval/tables.mli: Core Metrics

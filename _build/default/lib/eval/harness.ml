@@ -1,0 +1,308 @@
+module Reader = Cet_elf.Reader
+module Linear = Cet_disasm.Linear
+module Options = Cet_compiler.Options
+
+type options = { seed : int; scale : float; progress : bool }
+
+let default_options = { seed = 2022; scale = 0.25; progress = false }
+
+type results = {
+  table1 : Tables.Table1.t;
+  fig3 : Tables.Fig3.t;
+  table2 : Tables.Table2.t;
+  table3 : Tables.Table3.t;
+  binaries : int;
+  functions : int;
+}
+
+let arch_name = function Cet_x86.Arch.X86 -> "x86" | Cet_x86.Arch.X64 -> "x64"
+
+let timed f x =
+  let t0 = Unix.gettimeofday () in
+  let r = f x in
+  (r, Unix.gettimeofday () -. t0)
+
+let run ?profiles ?configs (opts : options) =
+  let table1 = Tables.Table1.create () in
+  let fig3 = Tables.Fig3.create () in
+  let table2 = Tables.Table2.create () in
+  let table3 = Tables.Table3.create () in
+  let binaries = ref 0 and functions = ref 0 in
+  Cet_corpus.Dataset.iter ?profiles ?configs ~seed:opts.seed ~scale:opts.scale
+    (fun bin ->
+      incr binaries;
+      if opts.progress && !binaries mod 100 = 0 then begin
+        prerr_char '.';
+        flush stderr
+      end;
+      let reader = Reader.read bin.stripped in
+      let truth = List.map snd bin.truth |> List.sort_uniq compare in
+      functions := !functions + List.length truth;
+      let compiler = Options.compiler_name bin.config.Options.compiler in
+      let suite = bin.suite in
+      let arch = arch_name bin.config.Options.arch in
+      (* One shared sweep for the study and the ablation. *)
+      let sweep = Linear.sweep_text reader in
+      (* Table I: end-branch location classes. *)
+      List.iter
+        (fun (_addr, loc) -> Tables.Table1.record table1 ~compiler ~suite loc)
+        (Core.Study.classify_endbrs ~sweep reader ~truth);
+      (* Figure 3: per-function property classes. *)
+      List.iter
+        (fun (_addr, props) -> Tables.Fig3.record fig3 props)
+        (Core.Study.function_props ~sweep reader ~truth);
+      (* Table II: the four FunSeeker configurations. *)
+      List.iteri
+        (fun i config ->
+          let r = Core.Funseeker.analyze_sweep ~config reader sweep in
+          Tables.Table2.record table2 ~compiler ~suite ~config:(i + 1)
+            (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
+        [
+          Core.Funseeker.config1; Core.Funseeker.config2; Core.Funseeker.config3;
+          Core.Funseeker.config4;
+        ];
+      (* Table III: tool comparison with timing for FunSeeker and FETCH.
+         Timed runs include each tool's own parsing and disassembly, like
+         the paper's end-to-end measurements. *)
+      let fs, fs_time = timed (fun r -> (Core.Funseeker.analyze r).Core.Funseeker.functions) reader in
+      Tables.Table3.record table3 ~arch ~suite ~tool:"funseeker"
+        (Metrics.compare_sets ~truth ~found:fs);
+      Tables.Table3.record_time table3 ~arch ~suite ~tool:"funseeker" fs_time;
+      let ida = Cet_baselines.Ida_like.analyze reader in
+      Tables.Table3.record table3 ~arch ~suite ~tool:"ida"
+        (Metrics.compare_sets ~truth ~found:ida);
+      let ghidra = Cet_baselines.Ghidra_like.analyze reader in
+      Tables.Table3.record table3 ~arch ~suite ~tool:"ghidra"
+        (Metrics.compare_sets ~truth ~found:ghidra);
+      let fetch, fetch_time = timed Cet_baselines.Fetch.analyze reader in
+      Tables.Table3.record table3 ~arch ~suite ~tool:"fetch"
+        (Metrics.compare_sets ~truth ~found:fetch);
+      Tables.Table3.record_time table3 ~arch ~suite ~tool:"fetch" fetch_time);
+  if opts.progress then prerr_newline ();
+  { table1; fig3; table2; table3; binaries = !binaries; functions = !functions }
+
+type manual_endbr_report = { full : Metrics.counts; manual : Metrics.counts }
+
+let manual_endbr_ablation (opts : options) =
+  let profile = Cet_corpus.Profile.scaled (opts.scale /. 2.0) Cet_corpus.Profile.coreutils in
+  let acc_full = ref Metrics.empty and acc_manual = ref Metrics.empty in
+  let run_with cf acc =
+    let configs =
+      List.map
+        (fun (c : Options.t) -> { c with Options.cf_protection = cf })
+        Options.all_grid
+    in
+    Cet_corpus.Dataset.iter ~profiles:[ profile ] ~configs ~seed:opts.seed ~scale:1.0
+      (fun bin ->
+        let reader = Reader.read bin.Cet_corpus.Dataset.stripped in
+        let truth = List.map snd bin.truth in
+        let r = Core.Funseeker.analyze reader in
+        acc := Metrics.add !acc (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
+  in
+  run_with Options.Cf_full acc_full;
+  run_with Options.Cf_manual acc_manual;
+  { full = !acc_full; manual = !acc_manual }
+
+let render_manual_endbr r =
+  Printf.sprintf
+    "MANUAL-ENDBR ABLATION (SSVI): FunSeeker on -mmanual-endbr binaries\n\
+    \  -fcf-protection=full : precision %7.3f%%  recall %7.3f%%\n\
+    \  -mmanual-endbr       : precision %7.3f%%  recall %7.3f%%\n\
+    \  recall impact: %.3f points (paper predicts a marginal loss, <= ~1.24%%)\n"
+    (Metrics.precision r.full) (Metrics.recall r.full) (Metrics.precision r.manual)
+    (Metrics.recall r.manual)
+    (Metrics.recall r.full -. Metrics.recall r.manual)
+
+type related_work_report = {
+  byteweight_in : Metrics.counts;
+  byteweight_ood : Metrics.counts;
+  nucleus_c : Metrics.counts;
+  nucleus_cpp : Metrics.counts;
+  funseeker_ref : Metrics.counts;
+}
+
+let related_work (opts : options) =
+  let profile =
+    Cet_corpus.Profile.scaled (opts.scale /. 2.0) Cet_corpus.Profile.coreutils
+  in
+  let build config index =
+    let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
+    let res = Cet_compiler.Link.link config ir in
+    ( Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image),
+      List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) )
+  in
+  let n = max 4 profile.Cet_corpus.Profile.programs in
+  let train_n = n / 2 in
+  let gcc = Options.default in
+  let clang_x86 =
+    { Options.default with Options.compiler = Options.Clang; arch = Cet_x86.Arch.X86 }
+  in
+  let model = Cet_baselines.Byteweight.train (List.init train_n (fun i -> build gcc i)) in
+  let score tool configs =
+    List.fold_left
+      (fun acc (config, index) ->
+        let reader, truth = build config index in
+        Metrics.add acc (Metrics.compare_sets ~truth ~found:(tool reader)))
+      Metrics.empty
+      (List.concat_map (fun c -> List.init (n - train_n) (fun i -> (c, train_n + i))) configs)
+  in
+  let byteweight reader = Cet_baselines.Byteweight.classify model reader in
+  let cpp_profile =
+    {
+      (Cet_corpus.Profile.scaled (opts.scale /. 4.0) Cet_corpus.Profile.spec) with
+      Cet_corpus.Profile.lang_cpp_fraction = 1.0;
+    }
+  in
+  let nucleus_on profile lang_label =
+    ignore lang_label;
+    let acc = ref Metrics.empty in
+    for index = 0 to profile.Cet_corpus.Profile.programs - 1 do
+      let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
+      let res = Cet_compiler.Link.link gcc ir in
+      let reader =
+        Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image)
+      in
+      let truth = List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) in
+      acc :=
+        Metrics.add !acc
+          (Metrics.compare_sets ~truth ~found:(Cet_baselines.Nucleus_like.analyze reader))
+    done;
+    !acc
+  in
+  {
+    byteweight_in = score byteweight [ gcc ];
+    byteweight_ood = score byteweight [ clang_x86 ];
+    nucleus_c = nucleus_on profile "C";
+    nucleus_cpp = nucleus_on cpp_profile "C++";
+    funseeker_ref =
+      score (fun r -> (Core.Funseeker.analyze r).Core.Funseeker.functions) [ gcc; clang_x86 ];
+  }
+
+let render_related_work r =
+  let line label (c : Metrics.counts) =
+    Printf.sprintf "  %-42s precision %7.3f%%  recall %7.3f%%" label
+      (Metrics.precision c) (Metrics.recall c)
+  in
+  String.concat "
+"
+    [
+      "RELATED-WORK COMPARATORS (SSVII-B)";
+      line "ByteWeight-like, in-distribution (gcc/x64)" r.byteweight_in;
+      line "ByteWeight-like, cross-compiler (clang/x86)" r.byteweight_ood;
+      line "Nucleus-like, C binaries" r.nucleus_c;
+      line "Nucleus-like, C++ binaries (landing pads)" r.nucleus_cpp;
+      line "FunSeeker, same test set (no training)" r.funseeker_ref;
+      "";
+    ]
+
+type inline_data_report = {
+  clean_linear : Metrics.counts;
+  clean_anchored : Metrics.counts;
+  dirty_linear : Metrics.counts;
+  dirty_anchored : Metrics.counts;
+  dirty_resyncs : int;
+}
+
+let inline_data (opts : options) =
+  let profile =
+    {
+      (Cet_corpus.Profile.scaled (opts.scale /. 2.0) Cet_corpus.Profile.binutils) with
+      Cet_corpus.Profile.p_switch = 0.3;
+    }
+  in
+  let run inline =
+    let config = { Options.default with Options.jump_tables_in_text = inline } in
+    let lin = ref Metrics.empty and anc = ref Metrics.empty and resyncs = ref 0 in
+    for index = 0 to profile.Cet_corpus.Profile.programs - 1 do
+      let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
+      let res = Cet_compiler.Link.link config ir in
+      let reader =
+        Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image)
+      in
+      let truth = List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) in
+      let l = Core.Funseeker.analyze reader in
+      let a = Core.Funseeker.analyze ~anchored:true reader in
+      resyncs := !resyncs + l.Core.Funseeker.resync_errors;
+      lin := Metrics.add !lin (Metrics.compare_sets ~truth ~found:l.Core.Funseeker.functions);
+      anc := Metrics.add !anc (Metrics.compare_sets ~truth ~found:a.Core.Funseeker.functions)
+    done;
+    (!lin, !anc, !resyncs)
+  in
+  let clean_linear, clean_anchored, _ = run false in
+  let dirty_linear, dirty_anchored, dirty_resyncs = run true in
+  { clean_linear; clean_anchored; dirty_linear; dirty_anchored; dirty_resyncs }
+
+let render_inline_data r =
+  let line label (c : Metrics.counts) =
+    Printf.sprintf "  %-40s precision %7.3f%%  recall %7.3f%%" label
+      (Metrics.precision c) (Metrics.recall c)
+  in
+  String.concat "
+"
+    [
+      "INLINE DATA IN .TEXT (SSVI): linear vs end-branch-anchored sweep";
+      line "clean binaries, linear sweep" r.clean_linear;
+      line "clean binaries, anchored sweep" r.clean_anchored;
+      Printf.sprintf "  dirty binaries: %d linear-sweep resynchronisations" r.dirty_resyncs;
+      line "dirty binaries, linear sweep" r.dirty_linear;
+      line "dirty binaries, anchored sweep" r.dirty_anchored;
+      "";
+    ]
+
+type arm_report = {
+  arm_bti : Metrics.counts;
+  arm_legacy : Metrics.counts;
+  arm_binaries : int;
+}
+
+let arm_bti (opts : options) =
+  let acc_bti = ref Metrics.empty and acc_legacy = ref Metrics.empty in
+  let n = ref 0 in
+  List.iter
+    (fun profile ->
+      let profile = Cet_corpus.Profile.scaled (opts.scale /. 2.0) profile in
+      for index = 0 to profile.Cet_corpus.Profile.programs - 1 do
+        let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
+        List.iter
+          (fun (bti, acc) ->
+            let res =
+              Cet_arm64.A64_compile.compile { Cet_arm64.A64_compile.bti; tail_calls = true } ir
+            in
+            let reader =
+              Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_arm64.A64_compile.image)
+            in
+            let truth =
+              List.sort_uniq compare (List.map snd res.Cet_arm64.A64_compile.truth)
+            in
+            incr n;
+            let r = Cet_arm64.Bti_seeker.analyze reader in
+            acc :=
+              Metrics.add !acc
+                (Metrics.compare_sets ~truth ~found:r.Cet_arm64.Bti_seeker.functions))
+          [ (true, acc_bti); (false, acc_legacy) ]
+      done)
+    Cet_corpus.Profile.all;
+  { arm_bti = !acc_bti; arm_legacy = !acc_legacy; arm_binaries = !n }
+
+let render_arm r =
+  String.concat "
+"
+    [
+      Printf.sprintf "ARM BTI EXTENSION (SSVI): %d aarch64 binaries" r.arm_binaries;
+      Printf.sprintf "  -mbranch-protection=bti : precision %7.3f%%  recall %7.3f%%"
+        (Metrics.precision r.arm_bti) (Metrics.recall r.arm_bti);
+      Printf.sprintf "  unprotected (control)   : precision %7.3f%%  recall %7.3f%%"
+        (Metrics.precision r.arm_legacy) (Metrics.recall r.arm_legacy);
+      "";
+    ]
+
+let render_all r =
+  String.concat "\n"
+    [
+      Printf.sprintf "dataset: %d binaries, %d ground-truth functions\n" r.binaries
+        r.functions;
+      Tables.Table1.render r.table1;
+      Tables.Fig3.render r.fig3;
+      Tables.Table2.render r.table2;
+      Tables.Table3.render r.table3;
+    ]

@@ -1,0 +1,93 @@
+(** The end-to-end experiment driver: streams the dataset and fills every
+    table/figure accumulator in one pass.
+
+    [scale] trades corpus size for wall-clock time; 1.0 builds suites with
+    the paper's program counts.  All numbers are deterministic in [seed]
+    except the timing columns. *)
+
+type options = {
+  seed : int;
+  scale : float;
+  progress : bool;  (** print a dot every 100 binaries to stderr *)
+}
+
+val default_options : options
+
+type results = {
+  table1 : Tables.Table1.t;
+  fig3 : Tables.Fig3.t;
+  table2 : Tables.Table2.t;
+  table3 : Tables.Table3.t;
+  binaries : int;
+  functions : int;  (** total ground-truth functions across the dataset *)
+}
+
+val run :
+  ?profiles:Cet_corpus.Profile.t list ->
+  ?configs:Cet_compiler.Options.t list ->
+  options ->
+  results
+
+val render_all : results -> string
+
+val arch_name : Cet_x86.Arch.t -> string
+(** Table III row key: ["x86"] or ["x64"]. *)
+
+type manual_endbr_report = {
+  full : Metrics.counts;  (** FunSeeker under [-fcf-protection=full] *)
+  manual : Metrics.counts;  (** under [-mmanual-endbr] *)
+}
+
+val manual_endbr_ablation : options -> manual_endbr_report
+(** The §VI discussion: recompile a Coreutils-sized suite with
+    [-mmanual-endbr] (end-branches only at address-taken functions) and
+    measure how much FunSeeker degrades.  The paper predicts a marginal
+    impact (~1.24% of functions are only reachable via tail jumps or
+    unreachable). *)
+
+val render_manual_endbr : manual_endbr_report -> string
+
+type related_work_report = {
+  byteweight_in : Metrics.counts;  (** trained and tested on GCC/x86-64 *)
+  byteweight_ood : Metrics.counts;  (** same model tested on Clang/x86 *)
+  nucleus_c : Metrics.counts;  (** Nucleus-like on C binaries *)
+  nucleus_cpp : Metrics.counts;  (** Nucleus-like on C++ binaries *)
+  funseeker_ref : Metrics.counts;  (** FunSeeker on the same test set *)
+}
+
+val related_work : options -> related_work_report
+(** The §VII-B comparators: train a ByteWeight-like prefix-tree on part of
+    a suite and evaluate it in- and out-of-distribution, and run the
+    Nucleus-like CFG analysis on C and C++ binaries.  FunSeeker runs on the
+    same test set for reference (and needs no training). *)
+
+val render_related_work : related_work_report -> string
+
+type inline_data_report = {
+  clean_linear : Metrics.counts;
+  clean_anchored : Metrics.counts;
+  dirty_linear : Metrics.counts;  (** jump tables placed inline in [.text] *)
+  dirty_anchored : Metrics.counts;
+  dirty_resyncs : int;  (** linear-sweep resynchronisations on the dirty set *)
+}
+
+val inline_data : options -> inline_data_report
+(** The §VI inline-data experiment: compile a binutils-like suite twice —
+    normally, and with jump tables embedded in [.text] (hand-written-
+    assembly style) — and compare plain linear sweep against the
+    end-branch-anchored sweep. *)
+
+val render_inline_data : inline_data_report -> string
+
+type arm_report = {
+  arm_bti : Metrics.counts;  (** BTI seeker on -mbranch-protection=bti builds *)
+  arm_legacy : Metrics.counts;  (** same seeker on unprotected builds *)
+  arm_binaries : int;
+}
+
+val arm_bti : options -> arm_report
+(** The §VI ARM extension over a corpus slice: every suite's programs
+    lowered by the AArch64 backend, identified by the ported seeker, with a
+    legacy (no-BTI) control group. *)
+
+val render_arm : arm_report -> string

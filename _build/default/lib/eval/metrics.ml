@@ -1,0 +1,27 @@
+type counts = { tp : int; fp : int; fn : int }
+
+let empty = { tp = 0; fp = 0; fn = 0 }
+let add a b = { tp = a.tp + b.tp; fp = a.fp + b.fp; fn = a.fn + b.fn }
+
+module IntSet = Set.Make (Int)
+
+let compare_sets ~truth ~found =
+  let t = IntSet.of_list truth and f = IntSet.of_list found in
+  {
+    tp = IntSet.cardinal (IntSet.inter t f);
+    fp = IntSet.cardinal (IntSet.diff f t);
+    fn = IntSet.cardinal (IntSet.diff t f);
+  }
+
+let pct num den = if den = 0 then 100.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let precision c = pct c.tp (c.tp + c.fp)
+let recall c = pct c.tp (c.tp + c.fn)
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let false_entries ~truth ~found =
+  let t = IntSet.of_list truth and f = IntSet.of_list found in
+  (IntSet.elements (IntSet.diff f t), IntSet.elements (IntSet.diff t f))

@@ -1,0 +1,1 @@
+lib/util/bytesio.ml: Buffer Char Leb128 String

@@ -1,0 +1,1 @@
+lib/util/leb128.ml: Buffer Char String

@@ -1,0 +1,27 @@
+let printable c = if Char.code c >= 0x20 && Char.code c < 0x7f then c else '.'
+
+let of_string ?(base = 0) s =
+  let buf = Buffer.create (String.length s * 4) in
+  let len = String.length s in
+  let line_start = ref 0 in
+  while !line_start < len do
+    let n = min 16 (len - !line_start) in
+    Buffer.add_string buf (Printf.sprintf "%08x  " (base + !line_start));
+    for i = 0 to 15 do
+      if i < n then
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code s.[!line_start + i]))
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to n - 1 do
+      Buffer.add_char buf (printable s.[!line_start + i])
+    done;
+    Buffer.add_string buf "|\n";
+    line_start := !line_start + 16
+  done;
+  Buffer.contents buf
+
+let bytes_inline s =
+  String.concat " "
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))

@@ -1,0 +1,8 @@
+(** Human-readable hex rendering for debugging and the [inspect] tool. *)
+
+val of_string : ?base:int -> string -> string
+(** [of_string ~base s] renders [s] in the classic 16-bytes-per-line format,
+    addresses starting at [base] (default 0). *)
+
+val bytes_inline : string -> string
+(** Space-separated hex bytes on one line, e.g. ["f3 0f 1e fa"]. *)

@@ -1,0 +1,34 @@
+type 'a t = (int * int * 'a) array
+
+let empty = [||]
+
+let of_list ivs =
+  let ivs = List.filter (fun (lo, hi, _) -> lo < hi) ivs in
+  let arr = Array.of_list ivs in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
+  Array.iteri
+    (fun i (lo, hi, _) ->
+      if i > 0 then begin
+        let _, prev_hi, _ = arr.(i - 1) in
+        if lo < prev_hi then invalid_arg "Itable.of_list: overlapping intervals"
+      end;
+      ignore (lo, hi))
+    arr;
+  arr
+
+let find t x =
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let l, h, v = t.(mid) in
+      if x < l then search lo mid
+      else if x >= h then search (mid + 1) hi
+      else Some (l, h, v)
+  in
+  search 0 (Array.length t)
+
+let mem t x = find t x <> None
+let cardinal = Array.length
+let to_list t = Array.to_list t
+let iter f t = Array.iter (fun (lo, hi, v) -> f lo hi v) t

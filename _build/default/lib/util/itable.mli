@@ -1,0 +1,22 @@
+(** Immutable table of disjoint half-open intervals with attached values,
+    supporting O(log n) stabbing queries.  Used for function extents, LSDA
+    call-site ranges, and FDE coverage lookups. *)
+
+type 'a t
+
+val empty : 'a t
+
+val of_list : (int * int * 'a) list -> 'a t
+(** [of_list ivs] builds a table from [(lo, hi, v)] triples denoting
+    \[lo, hi).  Intervals must be disjoint (empty intervals are dropped);
+    raises [Invalid_argument] on overlap. *)
+
+val find : 'a t -> int -> (int * int * 'a) option
+(** [find t x] returns the interval containing [x], if any. *)
+
+val mem : 'a t -> int -> bool
+val cardinal : 'a t -> int
+val to_list : 'a t -> (int * int * 'a) list
+(** Intervals in increasing order. *)
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,55 @@
+let write_u buf v =
+  assert (v >= 0);
+  let rec go v =
+    let byte = v land 0x7f in
+    let rest = v lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+let write_s buf v =
+  let rec go v =
+    let byte = v land 0x7f in
+    let rest = v asr 7 in
+    let sign_clear = byte land 0x40 = 0 in
+    let done_ = (rest = 0 && sign_clear) || (rest = -1 && not sign_clear) in
+    if done_ then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+let byte s pos =
+  if pos >= String.length s then invalid_arg "Leb128: truncated input"
+  else Char.code s.[pos]
+
+let read_u s pos =
+  let rec go acc shift pos =
+    let b = byte s pos in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
+  in
+  go 0 0 pos
+
+let read_s s pos =
+  let rec go acc shift pos =
+    let b = byte s pos in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    let shift = shift + 7 in
+    if b land 0x80 = 0 then
+      let acc = if b land 0x40 <> 0 && shift < 63 then acc lor (-1 lsl shift) else acc in
+      (acc, pos + 1)
+    else go acc shift (pos + 1)
+  in
+  go 0 0 pos
+
+let size_u v =
+  let buf = Buffer.create 8 in
+  write_u buf v;
+  Buffer.length buf

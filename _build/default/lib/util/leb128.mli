@@ -1,0 +1,18 @@
+(** LEB128 variable-length integer coding, as used throughout DWARF
+    exception-handling data (CFI programs, LSDA tables). *)
+
+val write_u : Buffer.t -> int -> unit
+(** Append an unsigned LEB128 encoding. Requires a non-negative argument. *)
+
+val write_s : Buffer.t -> int -> unit
+(** Append a signed LEB128 encoding. *)
+
+val read_u : string -> int -> int * int
+(** [read_u s pos] decodes an unsigned LEB128 starting at [pos] and returns
+    [(value, next_pos)]. Raises [Invalid_argument] on truncated input. *)
+
+val read_s : string -> int -> int * int
+(** Signed counterpart of {!read_u}. *)
+
+val size_u : int -> int
+(** Encoded byte length of an unsigned value. *)

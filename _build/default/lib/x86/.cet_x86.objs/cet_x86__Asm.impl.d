@@ -1,0 +1,1 @@
+lib/x86/asm.ml: Arch Buffer Char Encoder Hashtbl Insn List Register String

@@ -1,0 +1,1 @@
+lib/x86/decoder.ml: Arch Char Printf String

@@ -1,0 +1,1 @@
+lib/x86/encoder.ml: Arch Cet_util Insn Option Register String

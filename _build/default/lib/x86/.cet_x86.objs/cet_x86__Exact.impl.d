@@ -1,0 +1,1 @@
+lib/x86/exact.ml: Arch Char Decoder Format Insn List Register String

@@ -1,0 +1,1 @@
+lib/x86/exact.mli: Arch Insn

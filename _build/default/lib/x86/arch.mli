@@ -1,0 +1,16 @@
+(** Target architecture selector shared by the whole pipeline. *)
+
+type t = X86 | X64
+
+val bits : t -> int
+(** 32 or 64. *)
+
+val ptr_size : t -> int
+(** Pointer width in bytes: 4 or 8. *)
+
+val to_string : t -> string
+(** ["x86"] or ["x86-64"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,45 @@
+(** Two-pass assembler: resolves symbolic labels into the rel32/abs32 fields
+    of {!Insn.t} and produces section bytes.
+
+    Item sizes never depend on label values (all emitted branches use rel32
+    forms), so a first pass can measure section layout without any symbol
+    environment; the second pass encodes against a resolver. *)
+
+type fill = Fill_nop | Fill_int3 | Fill_zero
+
+type item =
+  | Label of string
+  | Ins of Insn.t
+  | Call_lbl of string
+  | Jmp_lbl of string
+  | Jcc_lbl of Insn.cond * string
+  | Lea_lbl of Register.t * string
+      (** Address-of: [lea r, \[rip+sym\]] on x86-64; [mov r, sym] (abs32) on
+          x86 — the two forms compilers use to materialise code pointers. *)
+  | Push_lbl of string  (** [push imm32] of a symbol address (x86 call args). *)
+  | Mov_mi_lbl of Insn.mem * string
+      (** Store a symbol address to memory ([mov dword \[m\], sym]); x86 only
+          (x86-64 stores go through a register). *)
+  | Jmp_table_lbl of { table : string; index : Register.t; scale : int; notrack : bool }
+      (** [notrack jmp \[table + index*scale\]] — the x86 non-PIE switch idiom. *)
+  | Mov_rm_table of { dst : Register.t; table : string; index : Register.t; scale : int }
+      (** [mov dst, \[table + index*scale\]] with absolute table base (x86). *)
+  | Bytes_raw of string
+  | Table of { entries : string list; entry_size : int }
+      (** label addresses laid out as little-endian data words — the
+          inline-jump-table idiom of hand-written assembly (data in [.text]) *)
+  | Align of { boundary : int; fill : fill }
+
+val measure : arch:Arch.t -> base:int -> item list -> int * (string * int) list
+(** [measure ~arch ~base items] returns the section size in bytes and the
+    virtual address of every [Label], without resolving references. *)
+
+val assemble :
+  arch:Arch.t ->
+  base:int ->
+  resolve:(string -> int) ->
+  item list ->
+  string
+(** Second pass.  [resolve] must return the virtual address of every symbol
+    referenced but not defined by a local [Label]; local labels shadow it.
+    Raises [Invalid_argument] if a rel32 overflows (images here never do). *)

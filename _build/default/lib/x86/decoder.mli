@@ -1,0 +1,39 @@
+(** Table-driven x86 / x86-64 instruction length decoder and classifier.
+
+    This is the disassembler front-end used by the linear sweep (§IV-B of the
+    paper).  It decodes legacy prefixes, REX (x86-64), one- and two-byte
+    opcode maps, ModRM/SIB and displacement/immediate fields — enough to
+    measure every instruction the synthetic compiler emits plus the common
+    encodings around them — and classifies each instruction into the
+    categories the FunSeeker algorithm cares about. *)
+
+type kind =
+  | Endbr64
+  | Endbr32
+  | Call_direct of int  (** absolute target virtual address *)
+  | Jmp_direct of int
+  | Jcc_direct of int
+  | Call_indirect of { goto : int option }
+      (** [goto] is the absolute slot address for the bare-disp32 memory form
+          (GOT slot of a PLT stub); [None] otherwise. *)
+  | Jmp_indirect of { notrack : bool; goto : int option }
+  | Ret
+  | Halt
+  | Addr_ref of int
+      (** a code-address materialisation: [lea r, \[rip+d\]] (x86-64) or a
+          32-bit immediate load/push (x86) whose operand the caller may
+          treat as a potential code pointer *)
+  | Other
+
+type ins = { addr : int; len : int; kind : kind }
+
+val decode :
+  Arch.t -> string -> base:int -> off:int -> (ins, string) result
+(** [decode arch code ~base ~off] decodes the instruction at byte offset
+    [off] of section contents [code], whose first byte lives at virtual
+    address [base].  Absolute targets of direct branches are computed from
+    the instruction address.  Returns [Error _] on bytes outside the decoded
+    subset or on truncation; the linear sweep then resynchronises at
+    [off + 1] exactly as the paper prescribes. *)
+
+val kind_to_string : kind -> string

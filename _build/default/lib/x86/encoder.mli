@@ -1,0 +1,15 @@
+(** Machine-code emission for {!Insn.t}.
+
+    The encoder produces the byte sequences GCC/Clang-style code generators
+    use on x86 and x86-64.  On x86-64, register-width operations use the
+    64-bit operand size (REX.W), matching pointer-heavy compiler output. *)
+
+val encode : Arch.t -> Insn.t -> string
+(** [encode arch insn] returns the encoding.  Raises [Invalid_argument] for
+    encodings impossible on [arch] (extended registers or [notrack] RIP-bare
+    jumps on x86, 16-byte NOPs, etc.). *)
+
+val length : Arch.t -> Insn.t -> int
+(** [length arch insn = String.length (encode arch insn)].  Lengths depend
+    only on the constructor and operand shapes, never on label distances,
+    which keeps assembly single-pass-sizable. *)

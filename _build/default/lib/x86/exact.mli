@@ -1,0 +1,24 @@
+(** Exact decoding back into the {!Insn.t} AST — the inverse of {!Encoder}
+    over the instruction subset the synthetic compiler emits.
+
+    Where {!Decoder} recovers only lengths and branch classifications (all a
+    linear sweep needs), this module reconstructs full operands, so tools
+    can print real assembly listings.  Encodings outside the modelled
+    subset return [None]; callers fall back to {!Decoder}'s classification.
+
+    Invariant (tested property): for every [i : Insn.t] valid on [arch],
+    [decode arch (Encoder.encode arch i) ~off:0 = Some (i, length)]. *)
+
+val decode : Arch.t -> string -> off:int -> (Insn.t * int) option
+(** [decode arch code ~off] parses one instruction at byte offset [off],
+    returning the AST and its length. *)
+
+val disassemble :
+  Arch.t -> string -> base:int -> off:int -> (string * int, string) result
+(** Render one instruction as text (via {!Insn.pp}) with its length,
+    falling back to {!Decoder}'s coarse classification for encodings
+    outside the subset; [Error] only when even that fails. *)
+
+val disassemble_all : Arch.t -> string -> base:int -> (int * string) list
+(** Full listing of a code blob: [(address, text)] per instruction, with
+    [+1] resynchronisation like the linear sweep. *)

@@ -1,0 +1,198 @@
+type cond =
+  | E
+  | NE
+  | L
+  | LE
+  | G
+  | GE
+  | A
+  | AE
+  | B
+  | BE
+  | S
+  | NS
+
+type mem = {
+  base : Register.t option;
+  index : (Register.t * int) option;
+  disp : int;
+}
+
+type t =
+  | Endbr
+  | Call_rel of int
+  | Jmp_rel of int
+  | Jmp_rel8 of int
+  | Jcc_rel of cond * int
+  | Jcc_rel8 of cond * int
+  | Call_reg of Register.t
+  | Call_mem of mem
+  | Jmp_reg of { reg : Register.t; notrack : bool }
+  | Jmp_mem of { mem : mem; notrack : bool }
+  | Ret
+  | Ret_imm of int
+  | Push of Register.t
+  | Pop of Register.t
+  | Push_imm of int
+  | Mov_rr of Register.t * Register.t
+  | Mov_ri of Register.t * int
+  | Mov_rm of Register.t * mem
+  | Mov_mr of mem * Register.t
+  | Mov_mi of mem * int
+  | Lea of Register.t * mem
+  | Add_ri of Register.t * int
+  | Sub_ri of Register.t * int
+  | Add_rr of Register.t * Register.t
+  | Sub_rr of Register.t * Register.t
+  | Cmp_ri of Register.t * int
+  | Cmp_rr of Register.t * Register.t
+  | Test_rr of Register.t * Register.t
+  | Xor_rr of Register.t * Register.t
+  | And_ri of Register.t * int
+  | And_rr of Register.t * Register.t
+  | Or_ri of Register.t * int
+  | Or_rr of Register.t * Register.t
+  | Inc of Register.t
+  | Dec of Register.t
+  | Neg of Register.t
+  | Not of Register.t
+  | Shl_ri of Register.t * int
+  | Shr_ri of Register.t * int
+  | Sar_ri of Register.t * int
+  | Imul_rr of Register.t * Register.t
+  | Movzx_b of Register.t * Register.t
+  | Movsx_b of Register.t * Register.t
+  | Setcc of cond * Register.t
+  | Cmov of cond * Register.t * Register.t
+  | Cdq
+  | Leave
+  | Nop
+  | Nopl of int
+  | Int3
+  | Hlt
+  | Ud2
+
+let mem_abs disp = { base = None; index = None; disp }
+let mem_base r disp = { base = Some r; index = None; disp }
+
+let mem_index ~base ~index ~scale ~disp =
+  assert (scale = 1 || scale = 2 || scale = 4 || scale = 8);
+  { base = Some base; index = Some (index, scale); disp }
+
+(* Condition encodings follow the Intel tttn scheme used in 0F 8x / 7x. *)
+let cond_code = function
+  | E -> 0x4
+  | NE -> 0x5
+  | L -> 0xC
+  | LE -> 0xE
+  | G -> 0xF
+  | GE -> 0xD
+  | A -> 0x7
+  | AE -> 0x3
+  | B -> 0x2
+  | BE -> 0x6
+  | S -> 0x8
+  | NS -> 0x9
+
+let cond_of_code = function
+  | 0x4 -> Some E
+  | 0x5 -> Some NE
+  | 0xC -> Some L
+  | 0xE -> Some LE
+  | 0xF -> Some G
+  | 0xD -> Some GE
+  | 0x7 -> Some A
+  | 0x3 -> Some AE
+  | 0x2 -> Some B
+  | 0x6 -> Some BE
+  | 0x8 -> Some S
+  | 0x9 -> Some NS
+  | _ -> None
+
+let cond_name = function
+  | E -> "e"
+  | NE -> "ne"
+  | L -> "l"
+  | LE -> "le"
+  | G -> "g"
+  | GE -> "ge"
+  | A -> "a"
+  | AE -> "ae"
+  | B -> "b"
+  | BE -> "be"
+  | S -> "s"
+  | NS -> "ns"
+
+let pp ~arch fmt t =
+  let reg r =
+    match arch with Arch.X64 -> Register.name64 r | Arch.X86 -> Register.name32 r
+  in
+  let mem m =
+    let parts = ref [] in
+    (match m.index with
+    | Some (r, s) -> parts := Printf.sprintf "%s*%d" (reg r) s :: !parts
+    | None -> ());
+    (match m.base with Some r -> parts := reg r :: !parts | None -> ());
+    let inner = String.concat "+" !parts in
+    if inner = "" then Printf.sprintf "[0x%x]" m.disp
+    else if m.disp = 0 then Printf.sprintf "[%s]" inner
+    else Printf.sprintf "[%s%+d]" inner m.disp
+  in
+  let s =
+    match t with
+    | Endbr -> (match arch with Arch.X64 -> "endbr64" | Arch.X86 -> "endbr32")
+    | Call_rel d -> Printf.sprintf "call rel(%+d)" d
+    | Jmp_rel d -> Printf.sprintf "jmp rel(%+d)" d
+    | Jmp_rel8 d -> Printf.sprintf "jmp short rel(%+d)" d
+    | Jcc_rel (c, d) -> Printf.sprintf "j%s rel(%+d)" (cond_name c) d
+    | Jcc_rel8 (c, d) -> Printf.sprintf "j%s short rel(%+d)" (cond_name c) d
+    | Call_reg r -> Printf.sprintf "call %s" (reg r)
+    | Call_mem m -> Printf.sprintf "call %s" (mem m)
+    | Jmp_reg { reg = r; notrack } ->
+      Printf.sprintf "%sjmp %s" (if notrack then "notrack " else "") (reg r)
+    | Jmp_mem { mem = m; notrack } ->
+      Printf.sprintf "%sjmp %s" (if notrack then "notrack " else "") (mem m)
+    | Ret -> "ret"
+    | Ret_imm n -> Printf.sprintf "ret %d" n
+    | Push r -> Printf.sprintf "push %s" (reg r)
+    | Pop r -> Printf.sprintf "pop %s" (reg r)
+    | Push_imm n -> Printf.sprintf "push %d" n
+    | Mov_rr (a, b) -> Printf.sprintf "mov %s, %s" (reg a) (reg b)
+    | Mov_ri (a, n) -> Printf.sprintf "mov %s, %d" (reg a) n
+    | Mov_rm (a, m) -> Printf.sprintf "mov %s, %s" (reg a) (mem m)
+    | Mov_mr (m, a) -> Printf.sprintf "mov %s, %s" (mem m) (reg a)
+    | Mov_mi (m, n) -> Printf.sprintf "mov %s, %d" (mem m) n
+    | Lea (a, m) -> Printf.sprintf "lea %s, %s" (reg a) (mem m)
+    | Add_ri (a, n) -> Printf.sprintf "add %s, %d" (reg a) n
+    | Sub_ri (a, n) -> Printf.sprintf "sub %s, %d" (reg a) n
+    | Add_rr (a, b) -> Printf.sprintf "add %s, %s" (reg a) (reg b)
+    | Sub_rr (a, b) -> Printf.sprintf "sub %s, %s" (reg a) (reg b)
+    | Cmp_ri (a, n) -> Printf.sprintf "cmp %s, %d" (reg a) n
+    | Cmp_rr (a, b) -> Printf.sprintf "cmp %s, %s" (reg a) (reg b)
+    | Test_rr (a, b) -> Printf.sprintf "test %s, %s" (reg a) (reg b)
+    | Xor_rr (a, b) -> Printf.sprintf "xor %s, %s" (reg a) (reg b)
+    | And_ri (a, n) -> Printf.sprintf "and %s, %d" (reg a) n
+    | And_rr (a, b) -> Printf.sprintf "and %s, %s" (reg a) (reg b)
+    | Or_ri (a, n) -> Printf.sprintf "or %s, %d" (reg a) n
+    | Or_rr (a, b) -> Printf.sprintf "or %s, %s" (reg a) (reg b)
+    | Inc a -> Printf.sprintf "inc %s" (reg a)
+    | Dec a -> Printf.sprintf "dec %s" (reg a)
+    | Neg a -> Printf.sprintf "neg %s" (reg a)
+    | Not a -> Printf.sprintf "not %s" (reg a)
+    | Shl_ri (a, n) -> Printf.sprintf "shl %s, %d" (reg a) n
+    | Shr_ri (a, n) -> Printf.sprintf "shr %s, %d" (reg a) n
+    | Sar_ri (a, n) -> Printf.sprintf "sar %s, %d" (reg a) n
+    | Imul_rr (a, b) -> Printf.sprintf "imul %s, %s" (reg a) (reg b)
+    | Movzx_b (a, b) -> Printf.sprintf "movzx %s, %s(8)" (reg a) (reg b)
+    | Movsx_b (a, b) -> Printf.sprintf "movsx %s, %s(8)" (reg a) (reg b)
+    | Setcc (c, a) -> Printf.sprintf "set%s %s" (cond_name c) (reg a)
+    | Cmov (c, a, b) -> Printf.sprintf "cmov%s %s, %s" (cond_name c) (reg a) (reg b)
+    | Cdq -> "cdq"
+    | Leave -> "leave"
+    | Nop -> "nop"
+    | Nopl n -> Printf.sprintf "nop(%d)" n
+    | Int3 -> "int3"
+    | Hlt -> "hlt"
+    | Ud2 -> "ud2"
+  in
+  Format.pp_print_string fmt s

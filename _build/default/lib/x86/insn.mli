@@ -1,0 +1,102 @@
+(** Abstract syntax of the x86 / x86-64 instruction subset emitted by the
+    synthetic compiler.
+
+    Relative branch displacements in this AST are already resolved rel values
+    (offset from the end of the instruction); the {!Asm} module resolves
+    symbolic labels into them.  The subset covers everything GCC/Clang-style
+    code generation needs for the paper's patterns: CET end-branch markers,
+    direct and indirect calls and jumps (including [notrack]-prefixed jumps
+    for switch tables), prologue/epilogue material, and common ALU traffic. *)
+
+type cond =
+  | E
+  | NE
+  | L
+  | LE
+  | G
+  | GE
+  | A
+  | AE
+  | B
+  | BE
+  | S
+  | NS
+
+type mem = {
+  base : Register.t option;
+  index : (Register.t * int) option;  (** register and scale (1, 2, 4, 8) *)
+  disp : int;
+}
+(** Memory operand.  When both [base] and [index] are [None], the operand is
+    a bare [disp32]: absolute on x86, RIP-relative on x86-64 (matching the
+    hardware's reinterpretation of the mod=00/rm=101 encoding). *)
+
+type t =
+  | Endbr  (** [endbr64] on x86-64, [endbr32] on x86 *)
+  | Call_rel of int
+  | Jmp_rel of int
+  | Jmp_rel8 of int
+  | Jcc_rel of cond * int
+  | Jcc_rel8 of cond * int
+  | Call_reg of Register.t
+  | Call_mem of mem
+  | Jmp_reg of { reg : Register.t; notrack : bool }
+  | Jmp_mem of { mem : mem; notrack : bool }
+  | Ret
+  | Ret_imm of int
+  | Push of Register.t
+  | Pop of Register.t
+  | Push_imm of int
+  | Mov_rr of Register.t * Register.t
+  | Mov_ri of Register.t * int
+  | Mov_rm of Register.t * mem
+  | Mov_mr of mem * Register.t
+  | Mov_mi of mem * int
+  | Lea of Register.t * mem
+  | Add_ri of Register.t * int
+  | Sub_ri of Register.t * int
+  | Add_rr of Register.t * Register.t
+  | Sub_rr of Register.t * Register.t
+  | Cmp_ri of Register.t * int
+  | Cmp_rr of Register.t * Register.t
+  | Test_rr of Register.t * Register.t
+  | Xor_rr of Register.t * Register.t
+  | And_ri of Register.t * int
+  | And_rr of Register.t * Register.t
+  | Or_ri of Register.t * int
+  | Or_rr of Register.t * Register.t
+  | Inc of Register.t
+  | Dec of Register.t
+  | Neg of Register.t
+  | Not of Register.t
+  | Shl_ri of Register.t * int  (** shift left by imm8 (1–63) *)
+  | Shr_ri of Register.t * int
+  | Sar_ri of Register.t * int
+  | Imul_rr of Register.t * Register.t  (** dst, src *)
+  | Movzx_b of Register.t * Register.t  (** zero-extend low byte of src *)
+  | Movsx_b of Register.t * Register.t
+  | Setcc of cond * Register.t  (** set low byte on condition *)
+  | Cmov of cond * Register.t * Register.t  (** dst, src *)
+  | Cdq
+  | Leave
+  | Nop
+  | Nopl of int  (** multi-byte NOP of the given total length (2–9 bytes) *)
+  | Int3
+  | Hlt
+  | Ud2
+
+val mem_abs : int -> mem
+(** Bare displacement operand (absolute on x86, RIP-relative on x86-64). *)
+
+val mem_base : Register.t -> int -> mem
+(** [mem_base r d] is [\[r + d\]]. *)
+
+val mem_index : base:Register.t -> index:Register.t -> scale:int -> disp:int -> mem
+
+val cond_code : cond -> int
+(** Low nibble of the condition encoding (e.g. [E] is 4, [NE] is 5). *)
+
+val cond_of_code : int -> cond option
+
+val pp : arch:Arch.t -> Format.formatter -> t -> unit
+(** AT&T-ish rendering for dumps; rel targets shown as raw displacements. *)

@@ -1,0 +1,75 @@
+type t =
+  | RAX
+  | RCX
+  | RDX
+  | RBX
+  | RSP
+  | RBP
+  | RSI
+  | RDI
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+let all =
+  [| RAX; RCX; RDX; RBX; RSP; RBP; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 |]
+
+let index = function
+  | RAX -> 0
+  | RCX -> 1
+  | RDX -> 2
+  | RBX -> 3
+  | RSP -> 4
+  | RBP -> 5
+  | RSI -> 6
+  | RDI -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | R13 -> 13
+  | R14 -> 14
+  | R15 -> 15
+
+let needs_rex r = index r >= 8
+
+let name64 = function
+  | RAX -> "rax"
+  | RCX -> "rcx"
+  | RDX -> "rdx"
+  | RBX -> "rbx"
+  | RSP -> "rsp"
+  | RBP -> "rbp"
+  | RSI -> "rsi"
+  | RDI -> "rdi"
+  | R8 -> "r8"
+  | R9 -> "r9"
+  | R10 -> "r10"
+  | R11 -> "r11"
+  | R12 -> "r12"
+  | R13 -> "r13"
+  | R14 -> "r14"
+  | R15 -> "r15"
+
+let name32 r =
+  if needs_rex r then name64 r ^ "d"
+  else
+    match r with
+    | RAX -> "eax"
+    | RCX -> "ecx"
+    | RDX -> "edx"
+    | RBX -> "ebx"
+    | RSP -> "esp"
+    | RBP -> "ebp"
+    | RSI -> "esi"
+    | RDI -> "edi"
+    | _ -> assert false
+
+let of_index i =
+  if i < 0 || i > 15 then invalid_arg "Register.of_index" else all.(i)

@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Cet_arm64 Cet_compiler Cet_corpus Cet_elf Cet_eval Core Int32 List Option QCheck QCheck_alcotest String

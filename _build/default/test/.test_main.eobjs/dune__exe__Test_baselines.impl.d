@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Cet_baselines Cet_compiler Cet_corpus Cet_disasm Cet_elf Cet_eval Cet_x86 Core List

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Cet_cfg Cet_compiler Cet_corpus Cet_elf List String

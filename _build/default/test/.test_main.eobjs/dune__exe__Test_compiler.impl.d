@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Cet_compiler Cet_disasm Cet_eh Cet_elf Cet_eval Cet_x86 Core List

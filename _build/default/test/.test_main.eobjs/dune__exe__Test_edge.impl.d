@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Cet_compiler Cet_corpus Cet_disasm Cet_elf Cet_util Cet_x86 Char Consts Core Digest List Printf String

@@ -1,0 +1,1 @@
+test/test_eh.ml: Alcotest Cet_compiler Cet_eh Cet_elf Cet_util List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Array Cet_elf Cet_x86 List Option String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Cet_corpus Cet_eval Core List String

@@ -1,0 +1,1 @@
+test/test_funseeker.ml: Alcotest Cet_compiler Cet_elf Cet_eval Cet_x86 Core List

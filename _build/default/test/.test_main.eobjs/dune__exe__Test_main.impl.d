@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_arm Test_baselines Test_cfg Test_compiler Test_corpus Test_edge Test_eh Test_elf Test_eval Test_funseeker Test_util Test_x86

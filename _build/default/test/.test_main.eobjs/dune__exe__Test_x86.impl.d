@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Cet_compiler Cet_corpus Cet_elf Cet_util Cet_x86 Format List Option QCheck QCheck_alcotest String

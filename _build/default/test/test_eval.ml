@@ -1,0 +1,181 @@
+(* Tests for cet_eval: metrics, ground truth, table accumulators, and an
+   end-to-end harness shape check on a micro corpus. *)
+
+module Metrics = Cet_eval.Metrics
+module GT = Cet_eval.Ground_truth
+module Tables = Cet_eval.Tables
+module Harness = Cet_eval.Harness
+
+let check = Alcotest.check
+let flt = Alcotest.float 1e-6
+
+let test_metrics_basics () =
+  let c = Metrics.compare_sets ~truth:[ 1; 2; 3; 4 ] ~found:[ 2; 3; 5 ] in
+  check Alcotest.int "tp" 2 c.Metrics.tp;
+  check Alcotest.int "fp" 1 c.Metrics.fp;
+  check Alcotest.int "fn" 2 c.Metrics.fn;
+  check flt "precision" (200.0 /. 3.0) (Metrics.precision c);
+  check flt "recall" 50.0 (Metrics.recall c)
+
+let test_metrics_edge_cases () =
+  let c = Metrics.compare_sets ~truth:[] ~found:[] in
+  check flt "precision empty" 100.0 (Metrics.precision c);
+  check flt "recall empty" 100.0 (Metrics.recall c);
+  let c = Metrics.compare_sets ~truth:[ 1 ] ~found:[] in
+  check flt "recall zero" 0.0 (Metrics.recall c);
+  check flt "precision no-report" 100.0 (Metrics.precision c)
+
+let test_metrics_dedup () =
+  let c = Metrics.compare_sets ~truth:[ 1; 1; 2 ] ~found:[ 1; 1; 1 ] in
+  check Alcotest.int "tp dedup" 1 c.Metrics.tp;
+  check Alcotest.int "fn dedup" 1 c.Metrics.fn;
+  check Alcotest.int "fp dedup" 0 c.Metrics.fp
+
+let test_metrics_add () =
+  let a = { Metrics.tp = 1; fp = 2; fn = 3 } in
+  let b = { Metrics.tp = 10; fp = 20; fn = 30 } in
+  let s = Metrics.add a b in
+  check Alcotest.int "tp" 11 s.Metrics.tp;
+  check Alcotest.int "fp" 22 s.Metrics.fp;
+  check Alcotest.int "fn" 33 s.Metrics.fn
+
+let test_false_entries () =
+  let fps, fns = Metrics.false_entries ~truth:[ 1; 2; 3 ] ~found:[ 2; 9 ] in
+  check Alcotest.(list int) "fps" [ 9 ] fps;
+  check Alcotest.(list int) "fns" [ 1; 3 ] fns
+
+let test_f1 () =
+  let c = { Metrics.tp = 1; fp = 1; fn = 1 } in
+  check flt "f1" 50.0 (Metrics.f1 c)
+
+let test_fragment_names () =
+  check Alcotest.bool ".cold" true (GT.is_fragment_name "sort_files.cold");
+  check Alcotest.bool ".part.0" true (GT.is_fragment_name "quotearg.part.0");
+  check Alcotest.bool ".part.12" true (GT.is_fragment_name "x.part.12");
+  check Alcotest.bool "plain" false (GT.is_fragment_name "main");
+  check Alcotest.bool "dotted but not fragment" false (GT.is_fragment_name "a.b");
+  check Alcotest.bool "thunk" false (GT.is_fragment_name "__x86.get_pc_thunk.bx")
+
+let test_table1_shares () =
+  let t = Tables.Table1.create () in
+  for _ = 1 to 98 do
+    Tables.Table1.record t ~compiler:"gcc" ~suite:"spec" Core.Study.At_function_entry
+  done;
+  Tables.Table1.record t ~compiler:"gcc" ~suite:"spec" Core.Study.At_landing_pad;
+  Tables.Table1.record t ~compiler:"gcc" ~suite:"spec" Core.Study.After_indirect_return_call;
+  check flt "entry" 98.0
+    (Tables.Table1.share t ~compiler:"gcc" ~suite:"spec" Core.Study.At_function_entry);
+  check flt "lp" 1.0
+    (Tables.Table1.share t ~compiler:"gcc" ~suite:"spec" Core.Study.At_landing_pad)
+
+let test_fig3_shares () =
+  let t = Tables.Fig3.create () in
+  let p e j c =
+    { Core.Study.endbr_at_head = e; dir_jmp_target = j; dir_call_target = c }
+  in
+  Tables.Fig3.record t (p true false true);
+  Tables.Fig3.record t (p true false true);
+  Tables.Fig3.record t (p false false false);
+  Tables.Fig3.record t (p false true false);
+  check Alcotest.int "total" 4 (Tables.Fig3.total t);
+  check flt "endbr+call" 50.0 (Tables.Fig3.share t "endbr+call");
+  check flt "none" 25.0 (Tables.Fig3.share t "none");
+  check flt "jmp" 25.0 (Tables.Fig3.share t "jmp")
+
+let test_table2_totals () =
+  let t = Tables.Table2.create () in
+  Tables.Table2.record t ~compiler:"gcc" ~suite:"spec" ~config:1
+    { Metrics.tp = 8; fp = 2; fn = 0 };
+  Tables.Table2.record t ~compiler:"clang" ~suite:"spec" ~config:1
+    { Metrics.tp = 2; fp = 8; fn = 0 };
+  let tot = Tables.Table2.totals t ~config:1 in
+  check Alcotest.int "tp" 10 tot.Metrics.tp;
+  check Alcotest.int "fp" 10 tot.Metrics.fp;
+  check flt "precision" 50.0 (Metrics.precision tot)
+
+let test_table3_time () =
+  let t = Tables.Table3.create () in
+  Tables.Table3.record_time t ~arch:"x64" ~suite:"spec" ~tool:"fetch" 0.4;
+  Tables.Table3.record_time t ~arch:"x64" ~suite:"spec" ~tool:"fetch" 0.6;
+  check flt "mean" 0.5 (Tables.Table3.mean_time t ~tool:"fetch")
+
+let micro_profile =
+  {
+    Cet_corpus.Profile.coreutils with
+    Cet_corpus.Profile.suite = "coreutils";
+    programs = 1;
+    funcs_lo = 50;
+    funcs_hi = 70;
+  }
+
+let micro_spec =
+  {
+    Cet_corpus.Profile.spec with
+    Cet_corpus.Profile.programs = 1;
+    funcs_lo = 60;
+    funcs_hi = 80;
+    lang_cpp_fraction = 1.0;
+  }
+
+let test_harness_shapes () =
+  let results =
+    Harness.run
+      ~profiles:[ micro_profile; micro_spec ]
+      { Harness.seed = 99; scale = 1.0; progress = false }
+  in
+  check Alcotest.int "binaries" 96 results.Harness.binaries;
+  check Alcotest.bool "functions counted" true (results.Harness.functions > 1000);
+  (* Table II shape: config 3 trades precision for recall. *)
+  let prec cfg = Metrics.precision (Tables.Table2.totals results.Harness.table2 ~config:cfg) in
+  let rec_ cfg = Metrics.recall (Tables.Table2.totals results.Harness.table2 ~config:cfg) in
+  check Alcotest.bool "c3 precision collapses" true (prec 3 < 60.0);
+  check Alcotest.bool "c2 precision high" true (prec 2 > 95.0);
+  check Alcotest.bool "c2 prec >= c1" true (prec 2 >= prec 1);
+  check Alcotest.bool "c3 recall >= c2" true (rec_ 3 >= rec_ 2);
+  check Alcotest.bool "c4 recall >= c2" true (rec_ 4 >= rec_ 2);
+  (* Table III shape: FunSeeker dominates. *)
+  let t3 tool = Tables.Table3.totals results.Harness.table3 ~tool in
+  check Alcotest.bool "fs recall > ida" true
+    (Metrics.recall (t3 "funseeker") > Metrics.recall (t3 "ida"));
+  check Alcotest.bool "fs recall > fetch" true
+    (Metrics.recall (t3 "funseeker") > Metrics.recall (t3 "fetch"));
+  check Alcotest.bool "fs precision >= 99" true (Metrics.precision (t3 "funseeker") > 99.0);
+  (* SPEC C++ landing pads appear in Table I. *)
+  check Alcotest.bool "spec exception share" true
+    (Tables.Table1.share results.Harness.table1 ~compiler:"gcc" ~suite:"spec"
+       Core.Study.At_landing_pad
+    > 5.0);
+  (* Rendering produces the expected headers. *)
+  let all = Harness.render_all results in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> check Alcotest.bool needle true (contains all needle))
+    [ "TABLE I"; "FIGURE 3"; "TABLE II"; "TABLE III" ]
+
+let suite =
+  [
+    ( "eval.metrics",
+      [
+        Alcotest.test_case "basics" `Quick test_metrics_basics;
+        Alcotest.test_case "edge cases" `Quick test_metrics_edge_cases;
+        Alcotest.test_case "dedup" `Quick test_metrics_dedup;
+        Alcotest.test_case "add" `Quick test_metrics_add;
+        Alcotest.test_case "false entries" `Quick test_false_entries;
+        Alcotest.test_case "f1" `Quick test_f1;
+      ] );
+    ( "eval.ground_truth",
+      [ Alcotest.test_case "fragment names" `Quick test_fragment_names ] );
+    ( "eval.tables",
+      [
+        Alcotest.test_case "table1 shares" `Quick test_table1_shares;
+        Alcotest.test_case "fig3 shares" `Quick test_fig3_shares;
+        Alcotest.test_case "table2 totals" `Quick test_table2_totals;
+        Alcotest.test_case "table3 time" `Quick test_table3_time;
+      ] );
+    ( "eval.harness",
+      [ Alcotest.test_case "end-to-end shapes" `Slow test_harness_shapes ] );
+  ]
