@@ -1,0 +1,15 @@
+# Convenience wrappers around dune.  `make check` is the PR verify: build,
+# test, and smoke the multi-core evaluation path (--jobs 2).
+.PHONY: all test bench check
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+check:
+	dune build @check

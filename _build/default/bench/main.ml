@@ -172,9 +172,28 @@ let bench_substrates =
              (Cet_corpus.Generator.program ~seed:7 ~profile:micro_corpus_profile ~index:0)));
   ]
 
+(* Corpus-level parallelism: the whole evaluation pipeline over a tiny
+   corpus, sequential vs one domain per recommended core.  The ratio is
+   the perf-trajectory number for the multi-core harness. *)
+let bench_parallel_harness =
+  let opts =
+    { Cet_eval.Harness.seed = 2022; scale = 1.0; progress = false; timing = false }
+  in
+  let profiles =
+    [ { micro_corpus_profile with Cet_corpus.Profile.programs = 2 } ]
+  in
+  let jobs = Domain.recommended_domain_count () in
+  [
+    Test.make ~name:"substrate/parallel-harness(jobs=1)"
+      (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs:1 opts));
+    Test.make
+      ~name:(Printf.sprintf "substrate/parallel-harness(jobs=%d)" jobs)
+      (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs opts));
+  ]
+
 let all_tests =
   [ bench_table1; bench_fig3 ] @ bench_table2 @ bench_table3 @ bench_ablations
-  @ bench_arm @ bench_consumers @ bench_substrates
+  @ bench_arm @ bench_consumers @ bench_substrates @ bench_parallel_harness
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                             *)

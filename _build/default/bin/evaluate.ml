@@ -3,22 +3,24 @@
    Usage:
      evaluate all                 # all tables + figure
      evaluate table1|fig3|table2|table3
-     evaluate --scale 0.25 --seed 2022 all *)
+     evaluate --scale 0.25 --seed 2022 --jobs 4 all *)
 
 open Cmdliner
 
-let run_eval what seed scale progress =
-  let opts = { Cet_eval.Harness.seed; scale; progress } in
+let run_eval what seed scale progress jobs no_timing =
+  let opts = { Cet_eval.Harness.seed; scale; progress; timing = not no_timing } in
   let out =
     match what with
     | "manual-endbr" ->
-      Cet_eval.Harness.render_manual_endbr (Cet_eval.Harness.manual_endbr_ablation opts)
-    | "extras" -> Cet_eval.Harness.render_related_work (Cet_eval.Harness.related_work opts)
+      Cet_eval.Harness.render_manual_endbr
+        (Cet_eval.Harness.manual_endbr_ablation ~jobs opts)
+    | "extras" ->
+      Cet_eval.Harness.render_related_work (Cet_eval.Harness.related_work ~jobs opts)
     | "inline-data" ->
-      Cet_eval.Harness.render_inline_data (Cet_eval.Harness.inline_data opts)
-    | "arm" -> Cet_eval.Harness.render_arm (Cet_eval.Harness.arm_bti opts)
+      Cet_eval.Harness.render_inline_data (Cet_eval.Harness.inline_data ~jobs opts)
+    | "arm" -> Cet_eval.Harness.render_arm (Cet_eval.Harness.arm_bti ~jobs opts)
     | _ ->
-      let results = Cet_eval.Harness.run opts in
+      let results = Cet_eval.Harness.run ~jobs opts in
       (match what with
       | "all" -> Cet_eval.Harness.render_all results
       | "table1" -> Cet_eval.Tables.Table1.render results.table1
@@ -47,10 +49,24 @@ let progress =
   let doc = "Print a progress dot per 100 binaries to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the evaluation (default: the hardware's recommended \
+     domain count).  Results are byte-identical to --jobs 1."
+  in
+  Arg.(value & opt int (Domain.recommended_domain_count ()) & info [ "j"; "jobs" ] ~doc)
+
+let no_timing =
+  let doc =
+    "Skip the wall-clock measurements behind Table III's Time(ms) columns \
+     (they become 0.000), making the output fully deterministic in --seed."
+  in
+  Arg.(value & flag & info [ "no-timing" ] ~doc)
+
 let cmd =
   let doc = "regenerate the FunSeeker paper's tables and figures" in
   Cmd.v
     (Cmd.info "evaluate" ~doc)
-    Term.(const run_eval $ what $ seed $ scale $ progress)
+    Term.(const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing)
 
 let () = exit (Cmd.eval cmd)

@@ -41,7 +41,7 @@ type result = {
   call_target_count : int;  (** |C| *)
   jump_target_count : int;  (** |J| *)
   tail_calls_selected : int;  (** |J'| *)
-  resync_errors : int;  (** linear-sweep recoveries *)
+  resync_errors : int;  (** linear-sweep desynchronisation events (one per run) *)
 }
 
 val analyze : ?config:config -> ?anchored:bool -> Cet_elf.Reader.t -> result

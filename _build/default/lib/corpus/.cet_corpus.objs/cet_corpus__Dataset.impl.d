@@ -1,1 +1,1 @@
-lib/corpus/dataset.ml: Cet_compiler Cet_elf Generator List Profile
+lib/corpus/dataset.ml: Array Cet_compiler Cet_elf Generator List Profile

@@ -12,30 +12,47 @@ type binary = {
   truth : (string * int) list;
 }
 
-let iter ?(profiles = Profile.all) ?(configs = Options.all_grid) ~seed ~scale f =
-  List.iter
-    (fun profile ->
-      let profile = Profile.scaled scale profile in
-      for index = 0 to profile.Profile.programs - 1 do
-        let ir = Generator.program ~seed ~profile ~index in
-        List.iter
-          (fun config ->
-            let res = Link.link config ir in
-            let unstripped = Cet_elf.Writer.write res.image in
-            let stripped = Cet_elf.Writer.write ~strip:true res.image in
-            f
-              {
-                suite = profile.Profile.suite;
-                program = ir.Ir.prog_name;
-                config;
-                lang = ir.Ir.lang;
-                stripped;
-                unstripped;
-                truth = res.truth;
-              })
-          configs
-      done)
-    profiles
+type plan = {
+  plan_seed : int;
+  plan_configs : Options.t list;
+  items : (Profile.t * int) array;  (* (scaled profile, program index) *)
+}
+
+let plan ?(profiles = Profile.all) ?(configs = Options.all_grid) ~seed ~scale () =
+  let items =
+    List.concat_map
+      (fun profile ->
+        let profile = Profile.scaled scale profile in
+        List.init profile.Profile.programs (fun index -> (profile, index)))
+      profiles
+  in
+  { plan_seed = seed; plan_configs = configs; items = Array.of_list items }
+
+let length plan = Array.length plan.items
+let binaries plan = Array.length plan.items * List.length plan.plan_configs
+
+let nth plan k =
+  let profile, index = plan.items.(k) in
+  let ir = Generator.program ~seed:plan.plan_seed ~profile ~index in
+  List.map
+    (fun config ->
+      let res = Link.link config ir in
+      {
+        suite = profile.Profile.suite;
+        program = ir.Ir.prog_name;
+        config;
+        lang = ir.Ir.lang;
+        stripped = Cet_elf.Writer.write ~strip:true res.image;
+        unstripped = Cet_elf.Writer.write res.image;
+        truth = res.truth;
+      })
+    plan.plan_configs
+
+let iter ?profiles ?configs ~seed ~scale f =
+  let plan = plan ?profiles ?configs ~seed ~scale () in
+  for k = 0 to length plan - 1 do
+    List.iter f (nth plan k)
+  done
 
 let count ?(profiles = Profile.all) ?(configs = Options.all_grid) ~scale () =
   List.fold_left

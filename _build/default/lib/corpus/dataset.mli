@@ -18,6 +18,36 @@ type binary = {
   truth : (string * int) list;  (** function entries, paper's corrections applied *)
 }
 
+type plan
+(** An enumerable work plan over the dataset: one item per generated
+    program, each materializing that program's whole configuration row.
+    The plan itself holds no ELF bytes — items are built on demand by
+    {!nth}, so independent workers (e.g. {!Cet_util.Domain_pool}) can
+    claim item [k] without being driven by {!iter}'s closure. *)
+
+val plan :
+  ?profiles:Profile.t list ->
+  ?configs:Cet_compiler.Options.t list ->
+  seed:int ->
+  scale:float ->
+  unit ->
+  plan
+(** Same defaults and semantics as {!iter}: all three suites, the full
+    24-point grid, [scale] shrinking program counts. *)
+
+val length : plan -> int
+(** Number of work items (programs).  Items are ordered profile-major then
+    by program index — the exact traversal order of {!iter}. *)
+
+val binaries : plan -> int
+(** Total binaries the plan yields: [length plan * #configs]. *)
+
+val nth : plan -> int -> binary list
+(** Materialize work item [k]: generate program [k]'s IR once and compile
+    it under every configuration, in grid order.  Pure in [(plan, k)], so
+    any domain may evaluate any item; concatenating [nth plan 0 .. length
+    plan - 1] reproduces the {!iter} stream exactly. *)
+
 val iter :
   ?profiles:Profile.t list ->
   ?configs:Cet_compiler.Options.t list ->
@@ -27,7 +57,8 @@ val iter :
   unit
 (** Stream the dataset.  Defaults: all three suites, the full 24-point
     grid.  [scale] shrinks program and function counts for quick runs
-    (1.0 = paper-sized suites). *)
+    (1.0 = paper-sized suites).  Equivalent to folding [f] over
+    [nth plan 0 .. nth plan (length plan - 1)] in order. *)
 
 val count : ?profiles:Profile.t list -> ?configs:Cet_compiler.Options.t list ->
   scale:float -> unit -> int

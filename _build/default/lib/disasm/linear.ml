@@ -15,13 +15,20 @@ let sweep arch ?(base = 0) code =
   let insns = ref [] in
   let errors = ref 0 in
   let off = ref 0 in
+  (* [resync_errors] counts desynchronisation events, not undecodable
+     bytes: a 40-byte inline-data run the sweep has to skip through is one
+     resynchronisation, so the counter tracks how often the sweep lost the
+     instruction stream. *)
+  let desynced = ref false in
   while !off < size do
     match Decoder.decode arch code ~base ~off:!off with
     | Ok ins ->
+      desynced := false;
       insns := ins :: !insns;
       off := !off + ins.Decoder.len
     | Error _ ->
-      incr errors;
+      if not !desynced then incr errors;
+      desynced := true;
       incr off
   done;
   {
@@ -83,15 +90,17 @@ let sweep_anchored arch ?(base = 0) code =
       match next_anchor_after !off with
       | Some a when a < stop ->
         (* The instruction would swallow an end-branch marker: the sweep
-           is desynchronised (inline data) — resynchronise at the anchor. *)
-        incr errors;
+           is desynchronised (inline data) — resynchronise at the anchor.
+           Only a trusted->untrusted transition counts as a new event;
+           stumbling again inside an already-suspect run does not. *)
+        if !trusted then incr errors;
         off := a;
         trusted := true
       | _ ->
         if !trusted then insns := ins :: !insns;
         off := stop)
     | Error _ ->
-      incr errors;
+      if !trusted then incr errors;
       trusted := false;
       incr off
   done;

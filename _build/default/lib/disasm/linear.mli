@@ -11,7 +11,10 @@ type t = {
   size : int;
   code : string;  (** the swept bytes (byte signatures need them) *)
   insns : Cet_x86.Decoder.ins array;  (** in address order *)
-  resync_errors : int;  (** decode failures recovered by skipping a byte *)
+  resync_errors : int;
+      (** desynchronisation events: maximal runs of undecodable (or, for
+          the anchored sweep, untrusted) bytes the sweep recovered from —
+          one per run, however many bytes it spanned *)
 }
 
 val sweep : Cet_x86.Arch.t -> ?base:int -> string -> t

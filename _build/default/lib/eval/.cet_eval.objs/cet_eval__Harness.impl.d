@@ -1,1 +1,1 @@
-lib/eval/harness.ml: Cet_arm64 Cet_baselines Cet_compiler Cet_corpus Cet_disasm Cet_elf Cet_x86 Core List Metrics Printf String Tables Unix
+lib/eval/harness.ml: Array Atomic Cet_arm64 Cet_baselines Cet_compiler Cet_corpus Cet_disasm Cet_elf Cet_util Cet_x86 Core List Metrics Printf String Tables Unix

@@ -1,10 +1,12 @@
 module Reader = Cet_elf.Reader
 module Linear = Cet_disasm.Linear
 module Options = Cet_compiler.Options
+module Dataset = Cet_corpus.Dataset
+module Domain_pool = Cet_util.Domain_pool
 
-type options = { seed : int; scale : float; progress : bool }
+type options = { seed : int; scale : float; progress : bool; timing : bool }
 
-let default_options = { seed = 2022; scale = 0.25; progress = false }
+let default_options = { seed = 2022; scale = 0.25; progress = false; timing = true }
 
 type results = {
   table1 : Tables.Table1.t;
@@ -22,86 +24,130 @@ let timed f x =
   let r = f x in
   (r, Unix.gettimeofday () -. t0)
 
-let run ?profiles ?configs (opts : options) =
-  let table1 = Tables.Table1.create () in
-  let fig3 = Tables.Fig3.create () in
-  let table2 = Tables.Table2.create () in
-  let table3 = Tables.Table3.create () in
-  let binaries = ref 0 and functions = ref 0 in
-  Cet_corpus.Dataset.iter ?profiles ?configs ~seed:opts.seed ~scale:opts.scale
-    (fun bin ->
-      incr binaries;
-      if opts.progress && !binaries mod 100 = 0 then begin
-        prerr_char '.';
-        flush stderr
-      end;
-      let reader = Reader.read bin.stripped in
-      let truth = List.map snd bin.truth |> List.sort_uniq compare in
-      functions := !functions + List.length truth;
-      let compiler = Options.compiler_name bin.config.Options.compiler in
-      let suite = bin.suite in
-      let arch = arch_name bin.config.Options.arch in
-      (* One shared sweep for the study and the ablation. *)
-      let sweep = Linear.sweep_text reader in
-      (* Table I: end-branch location classes. *)
-      List.iter
-        (fun (_addr, loc) -> Tables.Table1.record table1 ~compiler ~suite loc)
-        (Core.Study.classify_endbrs ~sweep reader ~truth);
-      (* Figure 3: per-function property classes. *)
-      List.iter
-        (fun (_addr, props) -> Tables.Fig3.record fig3 props)
-        (Core.Study.function_props ~sweep reader ~truth);
-      (* Table II: the four FunSeeker configurations. *)
-      List.iteri
-        (fun i config ->
-          let r = Core.Funseeker.analyze_sweep ~config reader sweep in
-          Tables.Table2.record table2 ~compiler ~suite ~config:(i + 1)
-            (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
-        [
-          Core.Funseeker.config1; Core.Funseeker.config2; Core.Funseeker.config3;
-          Core.Funseeker.config4;
-        ];
-      (* Table III: tool comparison with timing for FunSeeker and FETCH.
-         Timed runs include each tool's own parsing and disassembly, like
-         the paper's end-to-end measurements. *)
-      let fs, fs_time = timed (fun r -> (Core.Funseeker.analyze r).Core.Funseeker.functions) reader in
-      Tables.Table3.record table3 ~arch ~suite ~tool:"funseeker"
-        (Metrics.compare_sets ~truth ~found:fs);
-      Tables.Table3.record_time table3 ~arch ~suite ~tool:"funseeker" fs_time;
-      let ida = Cet_baselines.Ida_like.analyze reader in
-      Tables.Table3.record table3 ~arch ~suite ~tool:"ida"
-        (Metrics.compare_sets ~truth ~found:ida);
-      let ghidra = Cet_baselines.Ghidra_like.analyze reader in
-      Tables.Table3.record table3 ~arch ~suite ~tool:"ghidra"
-        (Metrics.compare_sets ~truth ~found:ghidra);
-      let fetch, fetch_time = timed Cet_baselines.Fetch.analyze reader in
-      Tables.Table3.record table3 ~arch ~suite ~tool:"fetch"
-        (Metrics.compare_sets ~truth ~found:fetch);
-      Tables.Table3.record_time table3 ~arch ~suite ~tool:"fetch" fetch_time);
+(* Ground-truth entry addresses of one binary, deduplicated: aliased
+   symbols may map distinct names to one address, and every consumer of a
+   truth list measures the set of entries, not the symbol table. *)
+let truth_addrs (bin : Dataset.binary) =
+  List.sort_uniq compare (List.map snd bin.truth)
+
+let empty_results () =
+  {
+    table1 = Tables.Table1.create ();
+    fig3 = Tables.Fig3.create ();
+    table2 = Tables.Table2.create ();
+    table3 = Tables.Table3.create ();
+    binaries = 0;
+    functions = 0;
+  }
+
+let merge_results into src =
+  Tables.Table1.merge into.table1 src.table1;
+  Tables.Fig3.merge into.fig3 src.fig3;
+  Tables.Table2.merge into.table2 src.table2;
+  Tables.Table3.merge into.table3 src.table3;
+  {
+    into with
+    binaries = into.binaries + src.binaries;
+    functions = into.functions + src.functions;
+  }
+
+let run ?profiles ?configs ?jobs (opts : options) =
+  let plan = Dataset.plan ?profiles ?configs ~seed:opts.seed ~scale:opts.scale () in
+  let progress = Atomic.make 0 in
+  (* Per-binary unit of work, accumulating into the worker's private
+     tables.  Nothing here touches shared state except the progress
+     counter, so any domain can evaluate any plan item. *)
+  let eval_binary acc (bin : Dataset.binary) =
+    let seen = Atomic.fetch_and_add progress 1 + 1 in
+    if opts.progress && seen mod 100 = 0 then begin
+      prerr_char '.';
+      flush stderr
+    end;
+    let reader = Reader.read bin.stripped in
+    let truth = truth_addrs bin in
+    let compiler = Options.compiler_name bin.config.Options.compiler in
+    let suite = bin.suite in
+    let arch = arch_name bin.config.Options.arch in
+    (* One shared sweep for the study and the ablation. *)
+    let sweep = Linear.sweep_text reader in
+    (* Table I: end-branch location classes. *)
+    List.iter
+      (fun (_addr, loc) -> Tables.Table1.record acc.table1 ~compiler ~suite loc)
+      (Core.Study.classify_endbrs ~sweep reader ~truth);
+    (* Figure 3: per-function property classes. *)
+    List.iter
+      (fun (_addr, props) -> Tables.Fig3.record acc.fig3 props)
+      (Core.Study.function_props ~sweep reader ~truth);
+    (* Table II: the four FunSeeker configurations. *)
+    List.iteri
+      (fun i config ->
+        let r = Core.Funseeker.analyze_sweep ~config reader sweep in
+        Tables.Table2.record acc.table2 ~compiler ~suite ~config:(i + 1)
+          (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
+      [
+        Core.Funseeker.config1; Core.Funseeker.config2; Core.Funseeker.config3;
+        Core.Funseeker.config4;
+      ];
+    (* Table III: tool comparison with timing for FunSeeker and FETCH.
+       Timed runs include each tool's own parsing and disassembly, like
+       the paper's end-to-end measurements.  With [timing = false] the
+       clock columns stay zero, which keeps the rendered output
+       deterministic in the seed. *)
+    let fs, fs_time =
+      timed (fun r -> (Core.Funseeker.analyze r).Core.Funseeker.functions) reader
+    in
+    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"funseeker"
+      (Metrics.compare_sets ~truth ~found:fs);
+    if opts.timing then
+      Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"funseeker" fs_time;
+    let ida = Cet_baselines.Ida_like.analyze reader in
+    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ida"
+      (Metrics.compare_sets ~truth ~found:ida);
+    let ghidra = Cet_baselines.Ghidra_like.analyze reader in
+    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ghidra"
+      (Metrics.compare_sets ~truth ~found:ghidra);
+    let fetch, fetch_time = timed Cet_baselines.Fetch.analyze reader in
+    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"fetch"
+      (Metrics.compare_sets ~truth ~found:fetch);
+    if opts.timing then
+      Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"fetch" fetch_time;
+    { acc with binaries = acc.binaries + 1; functions = acc.functions + List.length truth }
+  in
+  let eval_item k = List.fold_left eval_binary (empty_results ()) (Dataset.nth plan k) in
+  let results =
+    Domain_pool.fold ?jobs ~merge:merge_results (empty_results ())
+      (Dataset.length plan) eval_item
+  in
   if opts.progress then prerr_newline ();
-  { table1; fig3; table2; table3; binaries = !binaries; functions = !functions }
+  results
 
 type manual_endbr_report = { full : Metrics.counts; manual : Metrics.counts }
 
-let manual_endbr_ablation (opts : options) =
+(* The per-binary unit of the SSVI ablation: FunSeeker's counts plus the
+   size of the deduplicated ground-truth set (so [snd] always equals
+   [tp + fn] of [fst] — duplicate truth entries must not inflate it). *)
+let manual_endbr_binary (bin : Dataset.binary) =
+  let reader = Reader.read bin.Dataset.stripped in
+  let truth = truth_addrs bin in
+  let r = Core.Funseeker.analyze reader in
+  (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions, List.length truth)
+
+let manual_endbr_ablation ?jobs (opts : options) =
   let profile = Cet_corpus.Profile.scaled (opts.scale /. 2.0) Cet_corpus.Profile.coreutils in
-  let acc_full = ref Metrics.empty and acc_manual = ref Metrics.empty in
-  let run_with cf acc =
+  let run_with cf =
     let configs =
       List.map
         (fun (c : Options.t) -> { c with Options.cf_protection = cf })
         Options.all_grid
     in
-    Cet_corpus.Dataset.iter ~profiles:[ profile ] ~configs ~seed:opts.seed ~scale:1.0
-      (fun bin ->
-        let reader = Reader.read bin.Cet_corpus.Dataset.stripped in
-        let truth = List.map snd bin.truth in
-        let r = Core.Funseeker.analyze reader in
-        acc := Metrics.add !acc (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
+    let plan = Dataset.plan ~profiles:[ profile ] ~configs ~seed:opts.seed ~scale:1.0 () in
+    Domain_pool.fold ?jobs ~merge:Metrics.add Metrics.empty (Dataset.length plan)
+      (fun k ->
+        List.fold_left
+          (fun acc bin -> Metrics.add acc (fst (manual_endbr_binary bin)))
+          Metrics.empty (Dataset.nth plan k))
   in
-  run_with Options.Cf_full acc_full;
-  run_with Options.Cf_manual acc_manual;
-  { full = !acc_full; manual = !acc_manual }
+  { full = run_with Options.Cf_full; manual = run_with Options.Cf_manual }
 
 let render_manual_endbr r =
   Printf.sprintf
@@ -121,7 +167,7 @@ type related_work_report = {
   funseeker_ref : Metrics.counts;
 }
 
-let related_work (opts : options) =
+let related_work ?jobs (opts : options) =
   let profile =
     Cet_corpus.Profile.scaled (opts.scale /. 2.0) Cet_corpus.Profile.coreutils
   in
@@ -137,14 +183,22 @@ let related_work (opts : options) =
   let clang_x86 =
     { Options.default with Options.compiler = Options.Clang; arch = Cet_x86.Arch.X86 }
   in
-  let model = Cet_baselines.Byteweight.train (List.init train_n (fun i -> build gcc i)) in
+  let model =
+    Cet_baselines.Byteweight.train
+      (Array.to_list (Domain_pool.map ?jobs train_n (fun i -> build gcc i)))
+  in
   let score tool configs =
-    List.fold_left
-      (fun acc (config, index) ->
+    let work =
+      Array.of_list
+        (List.concat_map
+           (fun c -> List.init (n - train_n) (fun i -> (c, train_n + i)))
+           configs)
+    in
+    Domain_pool.fold ?jobs ~merge:Metrics.add Metrics.empty (Array.length work)
+      (fun k ->
+        let config, index = work.(k) in
         let reader, truth = build config index in
-        Metrics.add acc (Metrics.compare_sets ~truth ~found:(tool reader)))
-      Metrics.empty
-      (List.concat_map (fun c -> List.init (n - train_n) (fun i -> (c, train_n + i))) configs)
+        Metrics.compare_sets ~truth ~found:(tool reader))
   in
   let byteweight reader = Cet_baselines.Byteweight.classify model reader in
   let cpp_profile =
@@ -153,27 +207,22 @@ let related_work (opts : options) =
       Cet_corpus.Profile.lang_cpp_fraction = 1.0;
     }
   in
-  let nucleus_on profile lang_label =
-    ignore lang_label;
-    let acc = ref Metrics.empty in
-    for index = 0 to profile.Cet_corpus.Profile.programs - 1 do
-      let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
-      let res = Cet_compiler.Link.link gcc ir in
-      let reader =
-        Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image)
-      in
-      let truth = List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) in
-      acc :=
-        Metrics.add !acc
-          (Metrics.compare_sets ~truth ~found:(Cet_baselines.Nucleus_like.analyze reader))
-    done;
-    !acc
+  let nucleus_on profile =
+    Domain_pool.fold ?jobs ~merge:Metrics.add Metrics.empty
+      profile.Cet_corpus.Profile.programs (fun index ->
+        let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
+        let res = Cet_compiler.Link.link gcc ir in
+        let reader =
+          Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image)
+        in
+        let truth = List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) in
+        Metrics.compare_sets ~truth ~found:(Cet_baselines.Nucleus_like.analyze reader))
   in
   {
     byteweight_in = score byteweight [ gcc ];
     byteweight_ood = score byteweight [ clang_x86 ];
-    nucleus_c = nucleus_on profile "C";
-    nucleus_cpp = nucleus_on cpp_profile "C++";
+    nucleus_c = nucleus_on profile;
+    nucleus_cpp = nucleus_on cpp_profile;
     funseeker_ref =
       score (fun r -> (Core.Funseeker.analyze r).Core.Funseeker.functions) [ gcc; clang_x86 ];
   }
@@ -183,8 +232,7 @@ let render_related_work r =
     Printf.sprintf "  %-42s precision %7.3f%%  recall %7.3f%%" label
       (Metrics.precision c) (Metrics.recall c)
   in
-  String.concat "
-"
+  String.concat "\n"
     [
       "RELATED-WORK COMPARATORS (SSVII-B)";
       line "ByteWeight-like, in-distribution (gcc/x64)" r.byteweight_in;
@@ -203,7 +251,7 @@ type inline_data_report = {
   dirty_resyncs : int;
 }
 
-let inline_data (opts : options) =
+let inline_data ?jobs (opts : options) =
   let profile =
     {
       (Cet_corpus.Profile.scaled (opts.scale /. 2.0) Cet_corpus.Profile.binutils) with
@@ -212,21 +260,23 @@ let inline_data (opts : options) =
   in
   let run inline =
     let config = { Options.default with Options.jump_tables_in_text = inline } in
-    let lin = ref Metrics.empty and anc = ref Metrics.empty and resyncs = ref 0 in
-    for index = 0 to profile.Cet_corpus.Profile.programs - 1 do
-      let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
-      let res = Cet_compiler.Link.link config ir in
-      let reader =
-        Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image)
-      in
-      let truth = List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) in
-      let l = Core.Funseeker.analyze reader in
-      let a = Core.Funseeker.analyze ~anchored:true reader in
-      resyncs := !resyncs + l.Core.Funseeker.resync_errors;
-      lin := Metrics.add !lin (Metrics.compare_sets ~truth ~found:l.Core.Funseeker.functions);
-      anc := Metrics.add !anc (Metrics.compare_sets ~truth ~found:a.Core.Funseeker.functions)
-    done;
-    (!lin, !anc, !resyncs)
+    Domain_pool.fold ?jobs
+      ~merge:(fun (lin, anc, resyncs) (lin', anc', resyncs') ->
+        (Metrics.add lin lin', Metrics.add anc anc', resyncs + resyncs'))
+      (Metrics.empty, Metrics.empty, 0)
+      profile.Cet_corpus.Profile.programs
+      (fun index ->
+        let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
+        let res = Cet_compiler.Link.link config ir in
+        let reader =
+          Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image)
+        in
+        let truth = List.sort_uniq compare (List.map snd res.Cet_compiler.Link.truth) in
+        let l = Core.Funseeker.analyze reader in
+        let a = Core.Funseeker.analyze ~anchored:true reader in
+        ( Metrics.compare_sets ~truth ~found:l.Core.Funseeker.functions,
+          Metrics.compare_sets ~truth ~found:a.Core.Funseeker.functions,
+          l.Core.Funseeker.resync_errors ))
   in
   let clean_linear, clean_anchored, _ = run false in
   let dirty_linear, dirty_anchored, dirty_resyncs = run true in
@@ -237,8 +287,7 @@ let render_inline_data r =
     Printf.sprintf "  %-40s precision %7.3f%%  recall %7.3f%%" label
       (Metrics.precision c) (Metrics.recall c)
   in
-  String.concat "
-"
+  String.concat "\n"
     [
       "INLINE DATA IN .TEXT (SSVI): linear vs end-branch-anchored sweep";
       line "clean binaries, linear sweep" r.clean_linear;
@@ -255,38 +304,42 @@ type arm_report = {
   arm_binaries : int;
 }
 
-let arm_bti (opts : options) =
-  let acc_bti = ref Metrics.empty and acc_legacy = ref Metrics.empty in
-  let n = ref 0 in
-  List.iter
-    (fun profile ->
-      let profile = Cet_corpus.Profile.scaled (opts.scale /. 2.0) profile in
-      for index = 0 to profile.Cet_corpus.Profile.programs - 1 do
+let arm_bti ?jobs (opts : options) =
+  let items =
+    Array.of_list
+      (List.concat_map
+         (fun profile ->
+           let profile = Cet_corpus.Profile.scaled (opts.scale /. 2.0) profile in
+           List.init profile.Cet_corpus.Profile.programs (fun index -> (profile, index)))
+         Cet_corpus.Profile.all)
+  in
+  let bti, legacy, n =
+    Domain_pool.fold ?jobs
+      ~merge:(fun (b, l, n) (b', l', n') -> (Metrics.add b b', Metrics.add l l', n + n'))
+      (Metrics.empty, Metrics.empty, 0)
+      (Array.length items)
+      (fun k ->
+        let profile, index = items.(k) in
         let ir = Cet_corpus.Generator.program ~seed:opts.seed ~profile ~index in
-        List.iter
-          (fun (bti, acc) ->
-            let res =
-              Cet_arm64.A64_compile.compile { Cet_arm64.A64_compile.bti; tail_calls = true } ir
-            in
-            let reader =
-              Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_arm64.A64_compile.image)
-            in
-            let truth =
-              List.sort_uniq compare (List.map snd res.Cet_arm64.A64_compile.truth)
-            in
-            incr n;
-            let r = Cet_arm64.Bti_seeker.analyze reader in
-            acc :=
-              Metrics.add !acc
-                (Metrics.compare_sets ~truth ~found:r.Cet_arm64.Bti_seeker.functions))
-          [ (true, acc_bti); (false, acc_legacy) ]
-      done)
-    Cet_corpus.Profile.all;
-  { arm_bti = !acc_bti; arm_legacy = !acc_legacy; arm_binaries = !n }
+        let eval bti =
+          let res =
+            Cet_arm64.A64_compile.compile { Cet_arm64.A64_compile.bti; tail_calls = true } ir
+          in
+          let reader =
+            Reader.read (Cet_elf.Writer.write ~strip:true res.Cet_arm64.A64_compile.image)
+          in
+          let truth =
+            List.sort_uniq compare (List.map snd res.Cet_arm64.A64_compile.truth)
+          in
+          let r = Cet_arm64.Bti_seeker.analyze reader in
+          Metrics.compare_sets ~truth ~found:r.Cet_arm64.Bti_seeker.functions
+        in
+        (eval true, eval false, 2))
+  in
+  { arm_bti = bti; arm_legacy = legacy; arm_binaries = n }
 
 let render_arm r =
-  String.concat "
-"
+  String.concat "\n"
     [
       Printf.sprintf "ARM BTI EXTENSION (SSVI): %d aarch64 binaries" r.arm_binaries;
       Printf.sprintf "  -mbranch-protection=bti : precision %7.3f%%  recall %7.3f%%"

@@ -1,14 +1,25 @@
-(** The end-to-end experiment driver: streams the dataset and fills every
-    table/figure accumulator in one pass.
+(** The end-to-end experiment driver: walks the dataset's work plan and
+    fills every table/figure accumulator, optionally across several
+    domains.
 
     [scale] trades corpus size for wall-clock time; 1.0 builds suites with
     the paper's program counts.  All numbers are deterministic in [seed]
-    except the timing columns. *)
+    except the timing columns (which [timing = false] pins to zero).
+
+    Every entry point takes a [?jobs] parameter (default:
+    [Domain.recommended_domain_count ()]).  Parallel runs are exact: each
+    worker folds a private accumulator over the plan items it claims, and
+    the main domain merges the partial results in plan order, so the
+    output is byte-identical to [~jobs:1] whichever way the corpus was
+    partitioned. *)
 
 type options = {
   seed : int;
   scale : float;
   progress : bool;  (** print a dot every 100 binaries to stderr *)
+  timing : bool;
+      (** measure per-binary wall-clock for Table III; [false] zeroes the
+          timing columns and makes rendered output fully deterministic *)
 }
 
 val default_options : options
@@ -25,6 +36,7 @@ type results = {
 val run :
   ?profiles:Cet_corpus.Profile.t list ->
   ?configs:Cet_compiler.Options.t list ->
+  ?jobs:int ->
   options ->
   results
 
@@ -38,7 +50,13 @@ type manual_endbr_report = {
   manual : Metrics.counts;  (** under [-mmanual-endbr] *)
 }
 
-val manual_endbr_ablation : options -> manual_endbr_report
+val manual_endbr_binary : Cet_corpus.Dataset.binary -> Metrics.counts * int
+(** The ablation's per-binary unit of work: FunSeeker's counts against the
+    binary's deduplicated ground truth, plus the size of that deduplicated
+    entry set.  The integer always equals [tp + fn] of the counts —
+    duplicate truth addresses (aliased symbols) must not inflate it. *)
+
+val manual_endbr_ablation : ?jobs:int -> options -> manual_endbr_report
 (** The §VI discussion: recompile a Coreutils-sized suite with
     [-mmanual-endbr] (end-branches only at address-taken functions) and
     measure how much FunSeeker degrades.  The paper predicts a marginal
@@ -55,7 +73,7 @@ type related_work_report = {
   funseeker_ref : Metrics.counts;  (** FunSeeker on the same test set *)
 }
 
-val related_work : options -> related_work_report
+val related_work : ?jobs:int -> options -> related_work_report
 (** The §VII-B comparators: train a ByteWeight-like prefix-tree on part of
     a suite and evaluate it in- and out-of-distribution, and run the
     Nucleus-like CFG analysis on C and C++ binaries.  FunSeeker runs on the
@@ -68,10 +86,12 @@ type inline_data_report = {
   clean_anchored : Metrics.counts;
   dirty_linear : Metrics.counts;  (** jump tables placed inline in [.text] *)
   dirty_anchored : Metrics.counts;
-  dirty_resyncs : int;  (** linear-sweep resynchronisations on the dirty set *)
+  dirty_resyncs : int;
+      (** linear-sweep resynchronisation events on the dirty set — one per
+          desynchronised byte run, not one per undecodable byte *)
 }
 
-val inline_data : options -> inline_data_report
+val inline_data : ?jobs:int -> options -> inline_data_report
 (** The §VI inline-data experiment: compile a binutils-like suite twice —
     normally, and with jump tables embedded in [.text] (hand-written-
     assembly style) — and compare plain linear sweep against the
@@ -85,7 +105,7 @@ type arm_report = {
   arm_binaries : int;
 }
 
-val arm_bti : options -> arm_report
+val arm_bti : ?jobs:int -> options -> arm_report
 (** The §VI ARM extension over a corpus slice: every suite's programs
     lowered by the AArch64 backend, identified by the ported seeker, with a
     legacy (no-BTI) control group. *)

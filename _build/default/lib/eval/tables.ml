@@ -8,6 +8,14 @@ let suite_label = function
   | "spec" -> "SPEC CPU 2017"
   | s -> s
 
+(* Merge helper: visit [src] bindings in sorted key order so the keys enter
+   [dst] in a deterministic order no matter how [src]'s hash buckets were
+   laid out — any later fold over [dst] is then independent of how the
+   corpus was partitioned across workers. *)
+let sorted_bindings src =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) src []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 module Table1 = struct
   type cell = { mutable entry : int; mutable indirect : int; mutable exc : int; mutable other : int }
 
@@ -30,6 +38,16 @@ module Table1 = struct
     | Core.Study.After_indirect_return_call -> c.indirect <- c.indirect + 1
     | Core.Study.At_landing_pad -> c.exc <- c.exc + 1
     | Core.Study.Elsewhere -> c.other <- c.other + 1
+
+  let merge t (src : t) =
+    List.iter
+      (fun (key, (s : cell)) ->
+        let c = cell t key in
+        c.entry <- c.entry + s.entry;
+        c.indirect <- c.indirect + s.indirect;
+        c.exc <- c.exc + s.exc;
+        c.other <- c.other + s.other)
+      (sorted_bindings src)
 
   let shares c =
     let total = c.entry + c.indirect + c.exc + c.other in
@@ -78,6 +96,14 @@ module Fig3 = struct
     match Hashtbl.find_opt t key with
     | Some r -> incr r
     | None -> Hashtbl.replace t key (ref 1)
+
+  let merge t (src : t) =
+    List.iter
+      (fun (key, n) ->
+        match Hashtbl.find_opt t key with
+        | Some r -> r := !r + !n
+        | None -> Hashtbl.replace t key (ref !n))
+      (sorted_bindings src)
 
   let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
 
@@ -128,6 +154,14 @@ module Table2 = struct
     match Hashtbl.find_opt t key with
     | Some r -> r := Metrics.add !r c
     | None -> Hashtbl.replace t key (ref c)
+
+  let merge t (src : t) =
+    List.iter
+      (fun (key, c) ->
+        match Hashtbl.find_opt t key with
+        | Some r -> r := Metrics.add !r !c
+        | None -> Hashtbl.replace t key (ref !c))
+      (sorted_bindings src)
 
   let counts t ~compiler ~suite ~config =
     match Hashtbl.find_opt t (compiler, suite, config) with
@@ -201,6 +235,15 @@ module Table3 = struct
     let cl = cell t (arch, suite, tool) in
     cl.time <- cl.time +. dt;
     cl.bins <- cl.bins + 1
+
+  let merge t (src : t) =
+    List.iter
+      (fun (key, (s : cell)) ->
+        let c = cell t key in
+        c.counts <- Metrics.add c.counts s.counts;
+        c.time <- c.time +. s.time;
+        c.bins <- c.bins + s.bins)
+      (sorted_bindings src)
 
   let counts t ~arch ~suite ~tool = (cell t (arch, suite, tool)).counts
 

@@ -11,6 +11,10 @@ module Table1 : sig
 
   val create : unit -> t
   val record : t -> compiler:string -> suite:string -> Core.Study.endbr_location -> unit
+  val merge : t -> t -> unit
+  (** [merge dst src] folds [src]'s cells into [dst]; merging per-worker
+      partial tables in plan order reproduces the sequential run exactly. *)
+
   val render : t -> string
   val share : t -> compiler:string -> suite:string -> Core.Study.endbr_location -> float
   (** Percentage share of one location class (for tests/benches). *)
@@ -24,6 +28,7 @@ module Fig3 : sig
 
   val create : unit -> t
   val record : t -> Core.Study.props -> unit
+  val merge : t -> t -> unit
   val total : t -> int
   val share : t -> string -> float
   (** Percentage of functions in a {!Core.Study.props_key} region. *)
@@ -39,6 +44,7 @@ module Table2 : sig
   val create : unit -> t
   val record :
     t -> compiler:string -> suite:string -> config:int -> Metrics.counts -> unit
+  val merge : t -> t -> unit
   val counts : t -> compiler:string -> suite:string -> config:int -> Metrics.counts
   val totals : t -> config:int -> Metrics.counts
   val render : t -> string
@@ -57,6 +63,9 @@ module Table3 : sig
   val record :
     t -> arch:string -> suite:string -> tool:string -> Metrics.counts -> unit
   val record_time : t -> arch:string -> suite:string -> tool:string -> float -> unit
+  val merge : t -> t -> unit
+  (** Sums counts, accumulated time, and binary tallies per cell. *)
+
   val counts : t -> arch:string -> suite:string -> tool:string -> Metrics.counts
   val totals : t -> tool:string -> Metrics.counts
   val mean_time : t -> tool:string -> float

@@ -1,0 +1,1 @@
+lib/util/domain_pool.mli:

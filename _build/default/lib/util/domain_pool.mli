@@ -1,0 +1,24 @@
+(** A small fixed-size domain pool for indexed, embarrassingly-parallel
+    work lists.
+
+    [map ~jobs n f] evaluates [f k] for every [k] in [0 .. n-1] on up to
+    [jobs] domains (including the calling one) and returns the results in
+    index order, exactly as [Array.init n f] would.  Scheduling is dynamic
+    (a shared counter), so uneven item costs balance across workers, but
+    the result array is always in plan order — callers that fold partial
+    accumulators over it are deterministic regardless of which domain ran
+    which item.
+
+    With [jobs <= 1] (or [n <= 1]) the work runs sequentially on the
+    calling domain in ascending index order, with no domains spawned. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [jobs] defaults to [Domain.recommended_domain_count ()]'s value at
+    call time.  If some [f k] raises, the remaining work is drained, every
+    worker is joined, and the exception of the lowest failing index
+    observed is re-raised (with its backtrace) on the calling domain. *)
+
+val fold : ?jobs:int -> merge:('acc -> 'a -> 'acc) -> 'acc -> int -> (int -> 'a) -> 'acc
+(** [fold ~merge init n f] is [Array.fold_left merge init (map n f)]:
+    parallel map, then a left fold over the results in index order — the
+    merge order (and thus the result) is independent of [jobs]. *)

@@ -1,1 +1,1 @@
-test/test_corpus.ml: Alcotest Cet_compiler Cet_corpus Cet_elf Cet_eval List
+test/test_corpus.ml: Alcotest Cet_compiler Cet_corpus Cet_elf Cet_eval Fun List

@@ -1,1 +1,1 @@
-test/test_eval.ml: Alcotest Cet_corpus Cet_eval Core List String
+test/test_eval.ml: Alcotest Cet_compiler Cet_corpus Cet_eval Core List String Sys

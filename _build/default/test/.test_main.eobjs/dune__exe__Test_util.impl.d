@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Buffer Cet_util Char Fun Gen List QCheck QCheck_alcotest String
+test/test_util.ml: Alcotest Array Buffer Cet_util Char Fun Gen List Printf QCheck QCheck_alcotest String Sys

@@ -128,6 +128,25 @@ let test_dataset_binary_integrity () =
         (fun a -> check Alcotest.bool "symbol in truth" true (List.mem a compiler_truth))
         sym_truth)
 
+let test_plan_matches_iter () =
+  (* Concatenating nth 0 .. length-1 must reproduce the iter stream
+     exactly — same binaries, same order — so workers materializing plan
+     items independently see the corpus the sequential driver sees. *)
+  let configs = [ O.default; { O.default with O.compiler = O.Clang } ] in
+  let streamed = ref [] in
+  Dataset.iter ~profiles:[ small_profile ] ~configs ~seed:11 ~scale:1.0 (fun b ->
+      streamed := b :: !streamed);
+  let streamed = List.rev !streamed in
+  let plan = Dataset.plan ~profiles:[ small_profile ] ~configs ~seed:11 ~scale:1.0 () in
+  check Alcotest.int "length" small_profile.Profile.programs (Dataset.length plan);
+  check Alcotest.int "binaries" (List.length streamed) (Dataset.binaries plan);
+  let planned =
+    List.concat_map (Dataset.nth plan) (List.init (Dataset.length plan) Fun.id)
+  in
+  check Alcotest.bool "identical stream" true (streamed = planned);
+  (* nth is pure: re-materializing an item yields the same binaries. *)
+  check Alcotest.bool "nth pure" true (Dataset.nth plan 1 = Dataset.nth plan 1)
+
 let test_scaled () =
   let p = Profile.scaled 0.5 Profile.coreutils in
   check Alcotest.int "programs halved" 54 p.Profile.programs;
@@ -148,6 +167,7 @@ let suite =
         Alcotest.test_case "dead functions unreferenced" `Quick test_dead_functions_unreferenced;
         Alcotest.test_case "dataset count/iterate" `Quick test_dataset_count;
         Alcotest.test_case "dataset binary integrity" `Quick test_dataset_binary_integrity;
+        Alcotest.test_case "plan/nth matches iter" `Quick test_plan_matches_iter;
         Alcotest.test_case "profile scaling" `Quick test_scaled;
       ] );
   ]

@@ -94,6 +94,35 @@ let test_random_bytes_terminate () =
         sweep.insns)
     [ Arch.X64; Arch.X86 ]
 
+(* 0x06 (push es) is undecodable in 64-bit mode — a convenient inline-data
+   stand-in for resynchronisation tests. *)
+let garbage n = String.make n '\x06'
+let nop = "\x90"
+let endbr64 = "\xf3\x0f\x1e\xfa"
+
+let test_resync_counts_runs () =
+  (* A desynchronised run is ONE event however many bytes it spans: a
+     40-byte jump table must not report 40 resynchronisations. *)
+  let s = Linear.sweep Arch.X64 (nop ^ garbage 40 ^ nop) in
+  check Alcotest.int "one run, one event" 1 s.Linear.resync_errors;
+  let s = Linear.sweep Arch.X64 (nop ^ garbage 6 ^ nop ^ garbage 3 ^ nop) in
+  check Alcotest.int "two runs, two events" 2 s.Linear.resync_errors;
+  let s = Linear.sweep Arch.X64 (nop ^ nop ^ nop) in
+  check Alcotest.int "clean code, no events" 0 s.Linear.resync_errors
+
+let test_resync_anchored_counts_runs () =
+  (* Same rule for the anchored sweep: the whole untrusted stretch up to
+     the next end-branch anchor is a single event. *)
+  let s = Linear.sweep_anchored Arch.X64 (nop ^ garbage 8 ^ endbr64 ^ nop) in
+  check Alcotest.int "one event to anchor" 1 s.Linear.resync_errors;
+  let s =
+    Linear.sweep_anchored Arch.X64
+      (nop ^ garbage 8 ^ endbr64 ^ nop ^ garbage 5 ^ endbr64 ^ nop)
+  in
+  check Alcotest.int "two events" 2 s.Linear.resync_errors;
+  let s = Linear.sweep_anchored Arch.X64 (endbr64 ^ nop ^ nop) in
+  check Alcotest.int "clean code" 0 s.Linear.resync_errors
+
 (* ------------------------------------------------------------------ *)
 (* Assembler corners                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -344,6 +373,9 @@ let suite =
         Alcotest.test_case "mid-stream offset" `Quick test_mid_stream_offset;
         Alcotest.test_case "single bytes terminate" `Quick test_every_single_byte_terminates;
         Alcotest.test_case "random bytes terminate" `Quick test_random_bytes_terminate;
+        Alcotest.test_case "resync counts runs" `Quick test_resync_counts_runs;
+        Alcotest.test_case "anchored resync counts runs" `Quick
+          test_resync_anchored_counts_runs;
       ] );
     ( "edge.asm",
       [

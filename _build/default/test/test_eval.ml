@@ -121,7 +121,7 @@ let test_harness_shapes () =
   let results =
     Harness.run
       ~profiles:[ micro_profile; micro_spec ]
-      { Harness.seed = 99; scale = 1.0; progress = false }
+      { Harness.seed = 99; scale = 1.0; progress = false; timing = true }
   in
   check Alcotest.int "binaries" 96 results.Harness.binaries;
   check Alcotest.bool "functions counted" true (results.Harness.functions > 1000);
@@ -156,6 +156,136 @@ let test_harness_shapes () =
     (fun needle -> check Alcotest.bool needle true (contains all needle))
     [ "TABLE I"; "FIGURE 3"; "TABLE II"; "TABLE III" ]
 
+(* ------------------------------------------------------------------ *)
+(* Mergeable accumulators and the parallel harness                     *)
+(* ------------------------------------------------------------------ *)
+
+module Dataset = Cet_corpus.Dataset
+
+let test_table1_merge () =
+  let record t n loc =
+    for _ = 1 to n do
+      Tables.Table1.record t ~compiler:"gcc" ~suite:"spec" loc
+    done
+  in
+  let whole = Tables.Table1.create () in
+  record whole 98 Core.Study.At_function_entry;
+  record whole 2 Core.Study.At_landing_pad;
+  let part1 = Tables.Table1.create () and part2 = Tables.Table1.create () in
+  record part1 40 Core.Study.At_function_entry;
+  record part2 58 Core.Study.At_function_entry;
+  record part1 1 Core.Study.At_landing_pad;
+  record part2 1 Core.Study.At_landing_pad;
+  let merged = Tables.Table1.create () in
+  Tables.Table1.merge merged part1;
+  Tables.Table1.merge merged part2;
+  check Alcotest.string "render" (Tables.Table1.render whole) (Tables.Table1.render merged)
+
+let test_fig3_merge () =
+  let p e j c =
+    { Core.Study.endbr_at_head = e; dir_jmp_target = j; dir_call_target = c }
+  in
+  let whole = Tables.Fig3.create () in
+  let part1 = Tables.Fig3.create () and part2 = Tables.Fig3.create () in
+  List.iteri
+    (fun i props ->
+      Tables.Fig3.record whole props;
+      Tables.Fig3.record (if i mod 2 = 0 then part1 else part2) props)
+    [ p true false true; p true false true; p false false false; p false true false ];
+  let merged = Tables.Fig3.create () in
+  Tables.Fig3.merge merged part1;
+  Tables.Fig3.merge merged part2;
+  check Alcotest.int "total" (Tables.Fig3.total whole) (Tables.Fig3.total merged);
+  check Alcotest.string "render" (Tables.Fig3.render whole) (Tables.Fig3.render merged)
+
+let test_table2_merge () =
+  let whole = Tables.Table2.create () in
+  let part1 = Tables.Table2.create () and part2 = Tables.Table2.create () in
+  let feed t ~compiler c = Tables.Table2.record t ~compiler ~suite:"spec" ~config:1 c in
+  let a = { Metrics.tp = 8; fp = 2; fn = 0 } and b = { Metrics.tp = 2; fp = 8; fn = 1 } in
+  feed whole ~compiler:"gcc" a;
+  feed whole ~compiler:"clang" b;
+  feed part1 ~compiler:"gcc" a;
+  feed part2 ~compiler:"clang" b;
+  let merged = Tables.Table2.create () in
+  Tables.Table2.merge merged part1;
+  Tables.Table2.merge merged part2;
+  check Alcotest.bool "totals" true
+    (Tables.Table2.totals whole ~config:1 = Tables.Table2.totals merged ~config:1);
+  check Alcotest.string "render" (Tables.Table2.render whole) (Tables.Table2.render merged)
+
+let test_table3_merge () =
+  let whole = Tables.Table3.create () in
+  let part1 = Tables.Table3.create () and part2 = Tables.Table3.create () in
+  let feed t c dt =
+    Tables.Table3.record t ~arch:"x64" ~suite:"spec" ~tool:"fetch" c;
+    Tables.Table3.record_time t ~arch:"x64" ~suite:"spec" ~tool:"fetch" dt
+  in
+  let a = { Metrics.tp = 5; fp = 1; fn = 2 } and b = { Metrics.tp = 7; fp = 0; fn = 1 } in
+  feed whole a 0.4;
+  feed whole b 0.6;
+  feed part1 a 0.4;
+  feed part2 b 0.6;
+  let merged = Tables.Table3.create () in
+  Tables.Table3.merge merged part1;
+  Tables.Table3.merge merged part2;
+  check Alcotest.bool "counts" true
+    (Tables.Table3.totals whole ~tool:"fetch" = Tables.Table3.totals merged ~tool:"fetch");
+  check flt "mean time" 0.5 (Tables.Table3.mean_time merged ~tool:"fetch");
+  check Alcotest.string "render" (Tables.Table3.render whole) (Tables.Table3.render merged)
+
+let test_parallel_equivalence () =
+  (* The tentpole guarantee: a multi-domain run merges its per-worker
+     partial tables in plan order and renders byte-identically to the
+     sequential run.  [timing = false] pins the only nondeterministic
+     columns (wall clock) to zero. *)
+  let opts = { Harness.seed = 99; scale = 1.0; progress = false; timing = false } in
+  let profiles = [ micro_profile; micro_spec ] in
+  let seq = Harness.run ~profiles ~jobs:1 opts in
+  let par = Harness.run ~profiles ~jobs:4 opts in
+  check Alcotest.int "binaries" seq.Harness.binaries par.Harness.binaries;
+  check Alcotest.int "functions" seq.Harness.functions par.Harness.functions;
+  check Alcotest.string "byte-identical render" (Harness.render_all seq)
+    (Harness.render_all par)
+
+let test_ablation_truth_dedup () =
+  (* Regression: the SSVI ablation must measure the deduplicated entry
+     set.  Pre-fix it took [List.map snd bin.truth] verbatim, so a binary
+     whose truth carries aliased (duplicate) addresses inflated the
+     function tally. *)
+  let plan =
+    Dataset.plan ~profiles:[ micro_profile ]
+      ~configs:[ Cet_compiler.Options.default ]
+      ~seed:3 ~scale:1.0 ()
+  in
+  let bin = List.hd (Dataset.nth plan 0) in
+  let dup = { bin with Dataset.truth = bin.Dataset.truth @ bin.Dataset.truth } in
+  let counts, functions = Harness.manual_endbr_binary dup in
+  check Alcotest.int "functions = tp + fn" (counts.Metrics.tp + counts.Metrics.fn)
+    functions;
+  let counts0, functions0 = Harness.manual_endbr_binary bin in
+  check Alcotest.bool "duplicates change nothing" true
+    (counts0 = counts && functions0 = functions)
+
+let test_render_separators_normalized () =
+  (* Regression for the literal embedded newlines that used to live inside
+     the render functions' [String.concat] separators: the source must
+     only ever spell the separator as the "\n" escape, so the renders stay
+     uniform and greppable. *)
+  let path =
+    List.find_opt Sys.file_exists [ "../lib/eval/harness.ml"; "lib/eval/harness.ml" ]
+  in
+  match path with
+  | None -> Alcotest.fail "harness.ml not reachable from the test directory"
+  | Some path ->
+    let ic = open_in_bin path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let bad = "String.concat \"\n" in
+    let n = String.length bad and h = String.length src in
+    let rec find i = i + n <= h && (String.sub src i n = bad || find (i + 1)) in
+    check Alcotest.bool "no literal newline inside a concat separator" false (find 0)
+
 let suite =
   [
     ( "eval.metrics",
@@ -175,7 +305,18 @@ let suite =
         Alcotest.test_case "fig3 shares" `Quick test_fig3_shares;
         Alcotest.test_case "table2 totals" `Quick test_table2_totals;
         Alcotest.test_case "table3 time" `Quick test_table3_time;
+        Alcotest.test_case "table1 merge" `Quick test_table1_merge;
+        Alcotest.test_case "fig3 merge" `Quick test_fig3_merge;
+        Alcotest.test_case "table2 merge" `Quick test_table2_merge;
+        Alcotest.test_case "table3 merge" `Quick test_table3_merge;
       ] );
     ( "eval.harness",
-      [ Alcotest.test_case "end-to-end shapes" `Slow test_harness_shapes ] );
+      [
+        Alcotest.test_case "end-to-end shapes" `Slow test_harness_shapes;
+        Alcotest.test_case "parallel/sequential equivalence" `Slow
+          test_parallel_equivalence;
+        Alcotest.test_case "ablation truth dedup" `Quick test_ablation_truth_dedup;
+        Alcotest.test_case "render separators normalized" `Quick
+          test_render_separators_normalized;
+      ] );
   ]
