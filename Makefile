@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.  `make check` is the PR verify: build,
 # test, and smoke the multi-core evaluation path (--jobs 2).
-.PHONY: all test bench check
+.PHONY: all test bench bench-json check
 
 all:
 	dune build
@@ -10,6 +10,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable benchmark results for the perf trajectory: one
+# BENCH_<n>.json per PR (N is the PR number).
+N ?= 2
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_$(N).json
 
 check:
 	dune build @check

@@ -191,16 +191,36 @@ let bench_parallel_harness =
       (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs opts));
   ]
 
+(* Telemetry overhead: the same full-FunSeeker unit of work with the span
+   registry disabled (the default, the < 2% guard rail) and enabled.
+   Enable/disable are single atomic stores, so toggling inside the staged
+   function costs nothing against the ms-scale analysis. *)
+let bench_telemetry =
+  let module Reg = Cet_telemetry.Registry in
+  [
+    Test.make ~name:"telemetry/funseeker-spans-off(spec)"
+      (stage (fun () -> FS.analyze spec_bin.w_reader));
+    Test.make ~name:"telemetry/funseeker-spans-on(spec)"
+      (stage (fun () ->
+           Reg.enable ();
+           let r = FS.analyze spec_bin.w_reader in
+           Reg.disable ();
+           r));
+  ]
+
 let all_tests =
   [ bench_table1; bench_fig3 ] @ bench_table2 @ bench_table3 @ bench_ablations
   @ bench_arm @ bench_consumers @ bench_substrates @ bench_parallel_harness
+  @ bench_telemetry
 
 (* ------------------------------------------------------------------ *)
-(* Runner                                                             *)
+(* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_benchmarks tests =
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+type result = { r_name : string; r_ns : float; r_runs : int }
+
+let run_benchmarks ~quota tests =
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   List.concat_map
@@ -212,7 +232,12 @@ let run_benchmarks tests =
           let ns =
             match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
           in
-          (name, ns) :: acc)
+          let runs =
+            match Hashtbl.find_opt results name with
+            | Some (b : Benchmark.t) -> b.stats.samples
+            | None -> 0
+          in
+          { r_name = name; r_ns = ns; r_runs = runs } :: acc)
         analyzed [])
     tests
 
@@ -221,22 +246,82 @@ let human ns =
   else if ns >= 1e3 then Printf.sprintf "%9.3f us" (ns /. 1e3)
   else Printf.sprintf "%9.1f ns" ns
 
+(* Machine-readable results for the perf trajectory: one BENCH_<n>.json per
+   PR, an array of {name, mean_ns, runs} objects. *)
+let write_json path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "  {\"name\": \"%s\", \"mean_ns\": %.3f, \"runs\": %d}%s\n"
+            r.r_name
+            (if Float.is_nan r.r_ns then 0.0 else r.r_ns)
+            r.r_runs
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "]\n")
+
 let () =
+  let json_out = ref None and quota = ref 0.5 and only = ref None in
+  let speclist =
+    [
+      ("--json", Arg.String (fun p -> json_out := Some p), "FILE  also write results as JSON");
+      ("--quota", Arg.Set_float quota, "SEC  time budget per benchmark (default 0.5)");
+      ( "--only",
+        Arg.String (fun s -> only := Some s),
+        "SUBSTR  run only benchmarks whose name contains SUBSTR" );
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--json FILE] [--quota SEC] [--only SUBSTR]";
+  let tests =
+    match !only with
+    | None -> all_tests
+    | Some sub ->
+      List.filter
+        (fun t ->
+          List.exists
+            (fun n ->
+              let nl = String.length n and sl = String.length sub in
+              let rec go i = i + sl <= nl && (String.sub n i sl = sub || go (i + 1)) in
+              go 0)
+            (Test.names t))
+        all_tests
+  in
   Printf.printf "FunSeeker reproduction benchmarks (one per table/figure + ablations)\n";
   Printf.printf "workloads: %s (%d fns), %s (%d fns), %s (%d fns)\n\n" coreutils_bin.w_name
     (List.length coreutils_bin.w_truth) spec_bin.w_name (List.length spec_bin.w_truth)
     clang_x86_bin.w_name
     (List.length clang_x86_bin.w_truth);
-  let results = run_benchmarks all_tests in
-  List.iter (fun (name, ns) -> Printf.printf "  %-38s %s/run\n" name (human ns)) results;
+  let results = run_benchmarks ~quota:!quota tests in
+  List.iter
+    (fun r -> Printf.printf "  %-38s %s/run  (%d runs)\n" r.r_name (human r.r_ns) r.r_runs)
+    results;
+  let find n = List.find_map (fun r -> if r.r_name = n then Some r.r_ns else None) results in
   (* §V-D headline: the FunSeeker / FETCH ratio on FDE-carrying binaries. *)
-  let find n = List.assoc n results in
-  (try
-     let fs = find "table3/funseeker(spec)" and fe = find "table3/fetch-like(spec)" in
-     Printf.printf "\nspeedup (spec, per-binary): FunSeeker is %.1fx faster than FETCH-like\n"
-       (fe /. fs);
-     let fs = find "table3/funseeker(coreutils)"
-     and fe = find "table3/fetch-like(coreutils)" in
-     Printf.printf "speedup (coreutils, per-binary): %.1fx\n" (fe /. fs)
-   with Not_found -> ());
+  (match (find "table3/funseeker(spec)", find "table3/fetch-like(spec)") with
+  | Some fs, Some fe ->
+    Printf.printf "\nspeedup (spec, per-binary): FunSeeker is %.1fx faster than FETCH-like\n"
+      (fe /. fs)
+  | _ -> ());
+  (match (find "table3/funseeker(coreutils)", find "table3/fetch-like(coreutils)") with
+  | Some fs, Some fe -> Printf.printf "speedup (coreutils, per-binary): %.1fx\n" (fe /. fs)
+  | _ -> ());
+  (* Telemetry's overhead guarantee: disabled spans must be (close to) free. *)
+  (match
+     ( find "telemetry/funseeker-spans-off(spec)",
+       find "telemetry/funseeker-spans-on(spec)" )
+   with
+  | Some off, Some on_ ->
+    Printf.printf "telemetry overhead: spans-on/spans-off = %.3fx\n" (on_ /. off)
+  | _ -> ());
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+    write_json path results;
+    Printf.printf "\nJSON written to %s\n" path);
   Printf.printf "\n(use `evaluate all` to regenerate the full tables over the corpus)\n"

@@ -3,12 +3,26 @@
    Usage:
      evaluate all                 # all tables + figure
      evaluate table1|fig3|table2|table3
-     evaluate --scale 0.25 --seed 2022 --jobs 4 all *)
+     evaluate --scale 0.25 --seed 2022 --jobs 4 all
+     evaluate --stats --trace-out trace.jsonl all   # telemetry report + JSON-lines trace *)
 
 open Cmdliner
+module Telemetry = Cet_telemetry.Registry
+module Report = Cet_telemetry.Report
 
-let run_eval what seed scale progress jobs no_timing =
+let run_eval what seed scale progress jobs no_timing stats trace_out =
+  if jobs <= 0 then begin
+    Printf.eprintf "evaluate: --jobs must be a positive worker count (got %d)\n" jobs;
+    exit 2
+  end;
+  if scale <= 0.0 then begin
+    Printf.eprintf "evaluate: --scale must be positive (got %g)\n" scale;
+    exit 2
+  end;
+  if stats || trace_out <> None then
+    Telemetry.enable ~trace:(trace_out <> None) ();
   let opts = { Cet_eval.Harness.seed; scale; progress; timing = not no_timing } in
+  let t0 = Unix.gettimeofday () in
   let out =
     match what with
     | "manual-endbr" ->
@@ -31,7 +45,26 @@ let run_eval what seed scale progress jobs no_timing =
         Printf.sprintf
           "unknown experiment %S (try all|table1|fig3|table2|table3|manual-endbr|extras|inline-data|arm)\n" other)
   in
-  print_string out
+  let wall = Unix.gettimeofday () -. t0 in
+  print_string out;
+  if stats then begin
+    print_newline ();
+    print_string (Report.render ~timing:(not no_timing) ());
+    (* Coverage of the instrumentation: with --jobs 1 the span self-time
+       sum tracks wall-clock directly; with more workers it tracks the
+       summed busy time instead. *)
+    if not no_timing then
+      Printf.printf
+        "telemetry: wall-clock %.3f s (jobs=%d); spans cover %.3f s of worker busy time\n"
+        wall jobs
+        (float_of_int (Report.self_total_ns ()) /. 1e9)
+  end;
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Report.write_trace oc);
+    Printf.eprintf "trace written to %s\n" path
 
 let what =
   let doc = "Which experiment to regenerate: all, table1, fig3, table2, table3, manual-endbr, extras, inline-data, arm." in
@@ -42,31 +75,48 @@ let seed =
   Arg.(value & opt int 2022 & info [ "seed" ] ~doc)
 
 let scale =
-  let doc = "Corpus scale factor: 1.0 reproduces the paper's suite sizes." in
+  let doc = "Corpus scale factor: 1.0 reproduces the paper's suite sizes. Must be positive." in
   Arg.(value & opt float 0.25 & info [ "scale" ] ~doc)
 
 let progress =
-  let doc = "Print a progress dot per 100 binaries to stderr." in
+  let doc = "Print a live done/total progress line (with rate and ETA) to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
 let jobs =
   let doc =
     "Worker domains for the evaluation (default: the hardware's recommended \
-     domain count).  Results are byte-identical to --jobs 1."
+     domain count).  Results are byte-identical to --jobs 1.  Must be positive."
   in
   Arg.(value & opt int (Domain.recommended_domain_count ()) & info [ "j"; "jobs" ] ~doc)
 
 let no_timing =
   let doc =
     "Skip the wall-clock measurements behind Table III's Time(ms) columns \
-     (they become 0.000), making the output fully deterministic in --seed."
+     (they become 0.000), making the output fully deterministic in --seed. \
+     Also zeroes the time fields of the --stats report."
   in
   Arg.(value & flag & info [ "no-timing" ] ~doc)
+
+let stats =
+  let doc =
+    "Enable the telemetry registry and print a phase-time breakdown (spans, \
+     counters, per-worker throughput, GC) after the tables."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_out =
+  let doc =
+    "Write a JSON-lines trace (one object per completed span, plus per-phase \
+     and counter summaries) to $(docv).  Implies telemetry recording."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let cmd =
   let doc = "regenerate the FunSeeker paper's tables and figures" in
   Cmd.v
     (Cmd.info "evaluate" ~doc)
-    Term.(const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing)
+    Term.(
+      const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing $ stats
+      $ trace_out)
 
 let () = exit (Cmd.eval cmd)

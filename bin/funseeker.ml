@@ -11,6 +11,9 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run file config_no anchored stats with_truth =
+  (* --stats doubles as the telemetry switch: phase spans recorded during
+     the analysis are reported to stderr at the end. *)
+  if stats then Cet_telemetry.Registry.enable ();
   let bytes = read_file file in
   let reader = Cet_elf.Reader.read bytes in
   if Cet_elf.Reader.machine reader = Cet_elf.Consts.em_aarch64 then begin
@@ -22,7 +25,8 @@ let run file config_no anchored stats with_truth =
       Printf.eprintf "functions: %d\n" (List.length r.functions);
       Printf.eprintf "bti c markers: %d, bti j markers: %d\n" r.bti_c_total r.bti_j_total;
       Printf.eprintf "direct call targets: %d (tail calls kept: %d)\n" r.call_target_count
-        r.tail_calls_selected
+        r.tail_calls_selected;
+      prerr_string (Cet_telemetry.Report.render ~timing:true ())
     end;
     exit 0
   end;
@@ -45,7 +49,8 @@ let run file config_no anchored stats with_truth =
     Printf.eprintf "direct call targets: %d\n" r.call_target_count;
     Printf.eprintf "direct jump targets: %d (tail calls kept: %d)\n" r.jump_target_count
       r.tail_calls_selected;
-    Printf.eprintf "linear-sweep resyncs: %d\n" r.resync_errors
+    Printf.eprintf "linear-sweep resyncs: %d\n" r.resync_errors;
+    prerr_string (Cet_telemetry.Report.render ~timing:true ())
   end;
   if with_truth then begin
     let truth = Cet_eval.Ground_truth.from_symbols reader in

@@ -76,7 +76,7 @@ let score root code ~off =
    with Exit -> ());
   !best
 
-let classify ?(threshold = 0.5) root reader =
+let classify_impl threshold root reader =
   match Cet_elf.Reader.find_section reader ".text" with
   | None -> []
   | Some text ->
@@ -85,3 +85,9 @@ let classify ?(threshold = 0.5) root reader =
     |> List.filter_map (fun (i : Cet_x86.Decoder.ins) ->
            if score root text.data ~off:(i.addr - text.vaddr) > threshold then Some i.addr
            else None)
+
+let classify ?(threshold = 0.5) root reader =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"baseline.byteweight" (fun () ->
+        classify_impl threshold root reader)
+  else classify_impl threshold root reader

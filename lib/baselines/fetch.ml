@@ -1,6 +1,6 @@
 module Linear = Cet_disasm.Linear
 
-let analyze ?(passes = 22) reader =
+let analyze_impl passes reader =
   let starts = Common.fde_starts reader in
   match Cet_elf.Reader.find_section reader ".text" with
   | None -> starts
@@ -30,3 +30,8 @@ let analyze ?(passes = 22) reader =
       ignore verified;
       List.sort_uniq compare (starts @ tail_targets)
     end
+
+let analyze ?(passes = 22) reader =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"baseline.fetch" (fun () -> analyze_impl passes reader)
+  else analyze_impl passes reader

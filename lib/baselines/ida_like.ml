@@ -1,7 +1,7 @@
 module Linear = Cet_disasm.Linear
 module Decoder = Cet_x86.Decoder
 
-let analyze reader =
+let analyze_impl reader =
   match Cet_elf.Reader.find_section reader ".text" with
   | None -> []
   | Some text ->
@@ -63,3 +63,8 @@ let analyze reader =
     let ex2 = Common.explore sweep ~roots:(pattern_hits @ known) in
     List.sort_uniq compare (known @ pattern_hits @ ex2.Common.e_functions)
     |> List.filter (fun a -> a >= text.vaddr && a < text_end)
+
+let analyze reader =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"baseline.ida" (fun () -> analyze_impl reader)
+  else analyze_impl reader

@@ -19,7 +19,7 @@ let union parent a b =
   let ra = find parent a and rb = find parent b in
   if ra <> rb then parent.(ra) <- rb
 
-let analyze reader =
+let analyze_impl reader =
   match Cet_elf.Reader.find_section reader ".text" with
   | None -> []
   | Some text ->
@@ -155,3 +155,8 @@ let analyze reader =
       end
     done;
     List.sort_uniq compare !entries
+
+let analyze reader =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"baseline.nucleus" (fun () -> analyze_impl reader)
+  else analyze_impl reader

@@ -1,4 +1,5 @@
 module Linear = Cet_disasm.Linear
+module Span = Cet_telemetry.Span
 
 type config = {
   filter_endbr : bool;
@@ -70,20 +71,11 @@ let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
     jmp_refs
   |> List.sort_uniq compare
 
-let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
-  let endbrs = Linear.endbr_addrs sweep in
-  let call_sites = Linear.call_sites sweep in
-  let calls =
-    List.filter_map
-      (fun (_, _, target) -> if Linear.in_range sweep target then Some target else None)
-      call_sites
-    |> List.sort_uniq compare
-  in
-  let jmps = Linear.jmp_targets sweep in
-  let filtered_ir = ref 0 and filtered_lp = ref 0 in
-  let endbrs' =
-    if not config.filter_endbr then endbrs
-    else begin
+(* FILTERENDBR proper: drop end-branches after indirect-return call sites
+   and at exception landing pads.  Split out of [analyze_sweep] so the
+   phase can carry its own telemetry span (which also covers the PLT and
+   LSDA parsing the filter needs, matching the paper's phase accounting). *)
+let filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp =
       (* Drop end-branches that are return targets of indirect-return
          imports (setjmp & co.), identified through the PLT. *)
       let plt_map = Parse.plt reader in
@@ -112,7 +104,48 @@ let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
           end
           else true)
         endbrs
-    end
+
+(* Candidate harvesting: end-branch addresses, direct-call targets, and
+   direct-jump targets out of the shared sweep (the E, C, J sets). *)
+let collect_candidates (sweep : Linear.t) =
+  let endbrs = Linear.endbr_addrs sweep in
+  let call_sites = Linear.call_sites sweep in
+  let calls =
+    List.filter_map
+      (fun (_, _, target) -> if Linear.in_range sweep target then Some target else None)
+      call_sites
+    |> List.sort_uniq compare
+  in
+  (endbrs, call_sites, calls, Linear.jmp_targets sweep)
+
+(* SELECTTAILCALL over the jump set, returning the selected count too. *)
+let select_phase (sweep : Linear.t) ~call_sites ~base_candidates =
+  let jmp_refs = Linear.jmp_refs sweep in
+  let call_refs =
+    List.filter_map
+      (fun (site, _, target) ->
+        if Linear.in_range sweep target then Some (site, target) else None)
+      call_sites
+  in
+  let selected =
+    select_tail_calls ~candidates:base_candidates ~jmp_refs ~call_refs
+      ~text_end:(sweep.base + sweep.size)
+  in
+  (List.sort_uniq compare (base_candidates @ selected), List.length selected)
+
+let analyze_sweep_impl config reader (sweep : Linear.t) =
+  let endbrs, call_sites, calls, jmps =
+    if Span.enabled () then
+      Span.with_ ~name:"funseeker.collect" (fun () -> collect_candidates sweep)
+    else collect_candidates sweep
+  in
+  let filtered_ir = ref 0 and filtered_lp = ref 0 in
+  let endbrs' =
+    if not config.filter_endbr then endbrs
+    else if Span.enabled () then
+      Span.with_ ~name:"funseeker.filter_endbr" (fun () ->
+          filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp)
+    else filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp
   in
   let base_candidates = List.sort_uniq compare (endbrs' @ calls) in
   let tail_selected = ref 0 in
@@ -121,37 +154,56 @@ let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
     else if not config.select_tail_calls then
       List.sort_uniq compare (base_candidates @ jmps)
     else begin
-      let jmp_refs = Linear.jmp_refs sweep in
-      let call_refs =
-        List.filter_map
-          (fun (site, _, target) ->
-            if Linear.in_range sweep target then Some (site, target) else None)
-          call_sites
+      let fns, n =
+        if Span.enabled () then
+          Span.with_ ~name:"funseeker.select_tailcall" (fun () ->
+              select_phase sweep ~call_sites ~base_candidates)
+        else select_phase sweep ~call_sites ~base_candidates
       in
-      let selected =
-        select_tail_calls ~candidates:base_candidates ~jmp_refs ~call_refs
-          ~text_end:(sweep.base + sweep.size)
-      in
-      tail_selected := List.length selected;
-      List.sort_uniq compare (base_candidates @ selected)
+      tail_selected := n;
+      fns
     end
   in
-  {
-    functions;
-    endbr_total = List.length endbrs;
-    filtered_indirect_return = !filtered_ir;
-    filtered_landing_pads = !filtered_lp;
-    call_target_count = List.length calls;
-    jump_target_count = List.length jmps;
-    tail_calls_selected = !tail_selected;
-    resync_errors = sweep.resync_errors;
-  }
+  let r =
+    {
+      functions;
+      endbr_total = List.length endbrs;
+      filtered_indirect_return = !filtered_ir;
+      filtered_landing_pads = !filtered_lp;
+      call_target_count = List.length calls;
+      jump_target_count = List.length jmps;
+      tail_calls_selected = !tail_selected;
+      resync_errors = sweep.resync_errors;
+    }
+  in
+  if Span.enabled () then begin
+    let module Reg = Cet_telemetry.Registry in
+    Reg.count "funseeker.analyses";
+    Reg.count ~n:r.endbr_total "funseeker.endbr_total";
+    Reg.count ~n:r.filtered_indirect_return "funseeker.filtered_indirect_return";
+    Reg.count ~n:r.filtered_landing_pads "funseeker.filtered_landing_pads";
+    Reg.count ~n:r.tail_calls_selected "funseeker.tail_calls_selected";
+    Reg.count ~n:r.resync_errors "funseeker.resync_errors";
+    Reg.count ~n:(List.length r.functions) "funseeker.functions"
+  end;
+  r
 
-let analyze ?(config = default_config) ?(anchored = false) reader =
+let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
+  if Span.enabled () then
+    Span.with_ ~name:"funseeker.analyze" (fun () ->
+        analyze_sweep_impl config reader sweep)
+  else analyze_sweep_impl config reader sweep
+
+let analyze_impl config anchored reader =
   let sweep =
     if anchored then Linear.sweep_text_anchored reader else Linear.sweep_text reader
   in
-  analyze_sweep ~config reader sweep
+  analyze_sweep_impl config reader sweep
+
+let analyze ?(config = default_config) ?(anchored = false) reader =
+  if Span.enabled () then
+    Span.with_ ~name:"funseeker.analyze" (fun () -> analyze_impl config anchored reader)
+  else analyze_impl config anchored reader
 
 let analyze_bytes ?(config = default_config) ?(anchored = false) bytes =
   analyze ~config ~anchored (Cet_elf.Reader.read bytes)

@@ -31,7 +31,7 @@ let plan ?(profiles = Profile.all) ?(configs = Options.all_grid) ~seed ~scale ()
 let length plan = Array.length plan.items
 let binaries plan = Array.length plan.items * List.length plan.plan_configs
 
-let nth plan k =
+let nth_impl plan k =
   let profile, index = plan.items.(k) in
   let ir = Generator.program ~seed:plan.plan_seed ~profile ~index in
   List.map
@@ -47,6 +47,13 @@ let nth plan k =
         truth = res.truth;
       })
     plan.plan_configs
+
+(* Corpus construction dominates harness wall-clock alongside the
+   identification phases, so it gets its own span. *)
+let nth plan k =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"corpus.build" (fun () -> nth_impl plan k)
+  else nth_impl plan k
 
 let iter ?profiles ?configs ~seed ~scale f =
   let plan = plan ?profiles ?configs ~seed ~scale () in

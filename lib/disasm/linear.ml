@@ -10,7 +10,7 @@ type t = {
   resync_errors : int;
 }
 
-let sweep arch ?(base = 0) code =
+let sweep_impl arch base code =
   let size = String.length code in
   let insns = ref [] in
   let errors = ref 0 in
@@ -40,6 +40,13 @@ let sweep arch ?(base = 0) code =
     resync_errors = !errors;
   }
 
+(* DISASSEMBLE is the hot phase; the disabled-telemetry path must stay
+   allocation-free, hence the guard instead of a bare [Span.with_]. *)
+let sweep arch ?(base = 0) code =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"disasm.sweep" (fun () -> sweep_impl arch base code)
+  else sweep_impl arch base code
+
 let sweep_text reader =
   match Cet_elf.Reader.find_section reader ".text" with
   | None -> invalid_arg "Linear.sweep_text: no .text section"
@@ -60,7 +67,7 @@ let anchor_offsets arch code =
   done;
   !out
 
-let sweep_anchored arch ?(base = 0) code =
+let sweep_anchored_impl arch base code =
   let size = String.length code in
   let anchors = Array.of_list (anchor_offsets arch code) in
   let next_anchor_after off =
@@ -112,6 +119,12 @@ let sweep_anchored arch ?(base = 0) code =
     insns = Array.of_list (List.rev !insns);
     resync_errors = !errors;
   }
+
+let sweep_anchored arch ?(base = 0) code =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"disasm.sweep_anchored" (fun () ->
+        sweep_anchored_impl arch base code)
+  else sweep_anchored_impl arch base code
 
 let sweep_text_anchored reader =
   match Cet_elf.Reader.find_section reader ".text" with

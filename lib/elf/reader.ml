@@ -100,11 +100,18 @@ let read_exn bytes =
   in
   { arch; machine; pie = e_type = Consts.et_dyn; entry; sections }
 
-let read bytes =
+let read_guarded bytes =
   try read_exn bytes with
   | Malformed _ as e -> raise e
   | Cet_util.Bytesio.R.Out_of_bounds what -> fail "truncated structure (%s)" what
   | Invalid_argument what -> fail "malformed structure (%s)" what
+
+(* The front half of PARSE; span-guarded so a disabled registry costs two
+   branch checks and no closure allocation. *)
+let read bytes =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"elf.read" (fun () -> read_guarded bytes)
+  else read_guarded bytes
 
 let arch t = t.arch
 let machine t = t.machine

@@ -24,13 +24,19 @@ let has_suffix_from name suffixes =
 
 let is_fragment_name name = has_suffix_from name [ ".cold"; ".part" ]
 
-let from_symbols reader =
+let from_symbols_impl reader =
   Cet_elf.Reader.symbols reader
   |> List.filter_map (fun (s : Cet_elf.Symbol.t) ->
          match (s.kind, s.section) with
          | Cet_elf.Symbol.Func, Some ".text" when not (is_fragment_name s.name) ->
            Some (s.name, s.value)
          | _ -> None)
+
+let from_symbols reader =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"eval.ground_truth" (fun () ->
+        from_symbols_impl reader)
+  else from_symbols_impl reader
 
 let addresses truth = List.sort_uniq compare (List.map snd truth)
 

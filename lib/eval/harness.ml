@@ -53,16 +53,28 @@ let merge_results into src =
 
 let run ?profiles ?configs ?jobs (opts : options) =
   let plan = Dataset.plan ?profiles ?configs ~seed:opts.seed ~scale:opts.scale () in
+  let total_binaries = Dataset.binaries plan in
+  let t0 = Unix.gettimeofday () in
   let progress = Atomic.make 0 in
+  (* Live status line: done/total with rate and ETA, throttled so the
+     stderr traffic stays negligible.  Racing workers may interleave
+     updates, but each is one whole carriage-returned line. *)
+  let show_progress seen =
+    if seen mod 25 = 0 || seen = total_binaries then begin
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let rate = if elapsed > 0.0 then float_of_int seen /. elapsed else 0.0 in
+      let eta =
+        if rate > 0.0 then float_of_int (total_binaries - seen) /. rate else 0.0
+      in
+      Printf.eprintf "\r  %d/%d binaries  %.1f bin/s  ETA %.0fs " seen total_binaries
+        rate eta;
+      flush stderr
+    end
+  in
   (* Per-binary unit of work, accumulating into the worker's private
      tables.  Nothing here touches shared state except the progress
      counter, so any domain can evaluate any plan item. *)
-  let eval_binary acc (bin : Dataset.binary) =
-    let seen = Atomic.fetch_and_add progress 1 + 1 in
-    if opts.progress && seen mod 100 = 0 then begin
-      prerr_char '.';
-      flush stderr
-    end;
+  let eval_binary_impl acc (bin : Dataset.binary) =
     let reader = Reader.read bin.stripped in
     let truth = truth_addrs bin in
     let compiler = Options.compiler_name bin.config.Options.compiler in
@@ -113,12 +125,39 @@ let run ?profiles ?configs ?jobs (opts : options) =
       Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"fetch" fetch_time;
     { acc with binaries = acc.binaries + 1; functions = acc.functions + List.length truth }
   in
+  let eval_binary acc bin =
+    let acc =
+      if Cet_telemetry.Span.enabled () then
+        Cet_telemetry.Span.with_ ~name:"harness.binary" (fun () ->
+            eval_binary_impl acc bin)
+      else eval_binary_impl acc bin
+    in
+    Cet_telemetry.Registry.count "harness.binaries";
+    let seen = Atomic.fetch_and_add progress 1 + 1 in
+    if opts.progress then show_progress seen;
+    acc
+  in
   let eval_item k = List.fold_left eval_binary (empty_results ()) (Dataset.nth plan k) in
   let results =
     Domain_pool.fold ?jobs ~merge:merge_results (empty_results ())
       (Dataset.length plan) eval_item
   in
-  if opts.progress then prerr_newline ();
+  (* Exact completion line, printed once and only when something ran (an
+     empty plan must not leave a stray newline on stderr). *)
+  let done_count = Atomic.get progress in
+  if opts.progress && done_count > 0 then begin
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "\r  %d/%d binaries in %.1fs (%.1f bin/s)          \n" done_count
+      total_binaries elapsed
+      (if elapsed > 0.0 then float_of_int done_count /. elapsed else 0.0);
+    flush stderr
+  end;
+  if Cet_telemetry.Registry.enabled () then begin
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Cet_telemetry.Registry.gauge_set "harness.wall_s" elapsed;
+    Cet_telemetry.Registry.gauge_set "harness.binaries_per_sec"
+      (if elapsed > 0.0 then float_of_int done_count /. elapsed else 0.0)
+  end;
   results
 
 type manual_endbr_report = { full : Metrics.counts; manual : Metrics.counts }

@@ -16,7 +16,10 @@
 type options = {
   seed : int;
   scale : float;
-  progress : bool;  (** print a dot every 100 binaries to stderr *)
+  progress : bool;
+      (** print a live [done/total  rate  ETA] status line to stderr,
+          finishing with one exact [done/total] summary line (nothing is
+          printed for an empty plan) *)
   timing : bool;
       (** measure per-binary wall-clock for Table III; [false] zeroes the
           timing columns and makes rendered output fully deterministic *)

@@ -1,0 +1,151 @@
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let self_ns (m : Registry.metric) =
+  let s = Hist.sum m.hist - m.child_ns in
+  if s < 0 then 0 else s
+
+let self_total_ns () =
+  Hashtbl.fold (fun _ m acc -> acc + self_ns m) (Registry.merged ()).Registry.spans 0
+
+let ms ns = float_of_int ns /. 1e6
+let us ns = float_of_int ns /. 1e3
+
+(* A sheet is a worker if the harness counted binaries on it; the main
+   domain is a worker too (Domain_pool folds on it alongside the spawned
+   domains). *)
+let worker_sheets () =
+  List.filter
+    (fun s -> Registry.find_counter s "harness.binaries" > 0)
+    (Registry.sheets ())
+
+let render ~timing () =
+  let buf = Buffer.create 2048 in
+  let m = Registry.merged () in
+  Buffer.add_string buf "TELEMETRY: phase breakdown (self = exclusive of nested spans)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-28s %9s %11s %11s %10s %10s %10s\n" "phase" "calls"
+       "total(ms)" "self(ms)" "mean(us)" "p50(us)" "p99(us)");
+  let q hist p =
+    match Hist.quantile hist p with Some v -> us v | None -> 0.0
+  in
+  List.iter
+    (fun (name, (metric : Registry.metric)) ->
+      let calls = Hist.count metric.hist in
+      if timing then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10.3f %10.3f %10.3f\n" name
+             calls
+             (ms (Hist.sum metric.hist))
+             (ms (self_ns metric))
+             (us (int_of_float (Hist.mean metric.hist)))
+             (q metric.hist 0.5) (q metric.hist 0.99))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10.3f %10.3f %10.3f\n" name
+             calls 0.0 0.0 0.0 0.0 0.0))
+    (sorted_bindings m.Registry.spans);
+  let self_sum =
+    Hashtbl.fold (fun _ metric acc -> acc + self_ns metric) m.Registry.spans 0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  phase self-time sum: %.3f ms (worker busy time covered by spans)\n"
+       (if timing then ms self_sum else 0.0));
+  let counters = sorted_bindings m.Registry.counters in
+  if counters <> [] then begin
+    Buffer.add_string buf "COUNTERS\n";
+    List.iter
+      (fun (name, (c : Registry.counter)) ->
+        Buffer.add_string buf (Printf.sprintf "  %-38s %12d\n" name c.n))
+      counters
+  end;
+  if timing then begin
+    let gauges = sorted_bindings m.Registry.gauges in
+    if gauges <> [] then begin
+      Buffer.add_string buf "GAUGES\n";
+      List.iter
+        (fun (name, (g : Registry.gauge)) ->
+          Buffer.add_string buf (Printf.sprintf "  %-38s %12.3f\n" name g.g))
+        gauges
+    end;
+    (match worker_sheets () with
+    | [] -> ()
+    | workers ->
+      Buffer.add_string buf "WORKERS\n";
+      List.iteri
+        (fun i s ->
+          let binaries = Registry.find_counter s "harness.binaries" in
+          let busy =
+            Hashtbl.fold (fun _ metric acc -> acc + self_ns metric) s.Registry.spans 0
+          in
+          let rate =
+            if busy = 0 then 0.0 else float_of_int binaries /. (float_of_int busy /. 1e9)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  worker %-2d %8d binaries %10.3f s busy %10.1f binaries/s\n"
+               i binaries
+               (float_of_int busy /. 1e9)
+               rate))
+        workers);
+    let gc = Gc.quick_stat () in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "GC minor/major collections: %d/%d  minor words: %.0f  promoted: %.0f  heap words: %d\n"
+         gc.Gc.minor_collections gc.Gc.major_collections gc.Gc.minor_words
+         gc.Gc.promoted_words gc.Gc.heap_words)
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines trace                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let write_trace oc =
+  let sheets = Registry.sheets () in
+  Printf.fprintf oc "{\"type\":\"meta\",\"sheets\":%d}\n" (List.length sheets);
+  List.iter
+    (fun (s : Registry.sheet) ->
+      List.iter
+        (fun (e : Registry.event) ->
+          Printf.fprintf oc
+            "{\"type\":\"span\",\"sheet\":%d,\"name\":%s,\"depth\":%d,\"start_ns\":%d,\"dur_ns\":%d}\n"
+            e.ev_sheet (json_string e.ev_name) e.ev_depth e.ev_start_ns e.ev_dur_ns)
+        (List.rev s.events))
+    sheets;
+  let m = Registry.merged () in
+  List.iter
+    (fun (name, (metric : Registry.metric)) ->
+      let p q = match Hist.quantile metric.hist q with Some v -> v | None -> 0 in
+      Printf.fprintf oc
+        "{\"type\":\"phase\",\"name\":%s,\"calls\":%d,\"total_ns\":%d,\"self_ns\":%d,\"min_ns\":%d,\"max_ns\":%d,\"p50_ns\":%d,\"p99_ns\":%d}\n"
+        (json_string name) (Hist.count metric.hist) (Hist.sum metric.hist)
+        (self_ns metric) (Hist.min_value metric.hist) (Hist.max_value metric.hist)
+        (p 0.5) (p 0.99))
+    (sorted_bindings m.Registry.spans);
+  List.iter
+    (fun (name, (c : Registry.counter)) ->
+      Printf.fprintf oc "{\"type\":\"counter\",\"name\":%s,\"value\":%d}\n"
+        (json_string name) c.n)
+    (sorted_bindings m.Registry.counters);
+  List.iter
+    (fun (name, (g : Registry.gauge)) ->
+      Printf.fprintf oc "{\"type\":\"gauge\",\"name\":%s,\"value\":%.6f}\n"
+        (json_string name) g.g)
+    (sorted_bindings m.Registry.gauges)
