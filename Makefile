@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.  `make check` is the PR verify: build,
 # test, and smoke the multi-core evaluation path (--jobs 2).
-.PHONY: all test bench bench-json check
+.PHONY: all test bench bench-json check fuzz
 
 all:
 	dune build
@@ -19,3 +19,8 @@ bench-json:
 
 check:
 	dune build @check
+
+# Full deterministic mutation-fuzz of the robust analysis path (a bounded
+# ~200-mutant smoke of the same engine runs as part of `make check`).
+fuzz:
+	dune exec bin/cetfuzz.exe -- --count 2000 --seed 2022

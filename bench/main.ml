@@ -177,7 +177,7 @@ let bench_substrates =
    the perf-trajectory number for the multi-core harness. *)
 let bench_parallel_harness =
   let opts =
-    { Cet_eval.Harness.seed = 2022; scale = 1.0; progress = false; timing = false }
+    { Cet_eval.Harness.default_options with Cet_eval.Harness.seed = 2022; scale = 1.0; timing = false }
   in
   let profiles =
     [ { micro_corpus_profile with Cet_corpus.Profile.programs = 2 } ]

@@ -4,13 +4,18 @@
      evaluate all                 # all tables + figure
      evaluate table1|fig3|table2|table3
      evaluate --scale 0.25 --seed 2022 --jobs 4 all
-     evaluate --stats --trace-out trace.jsonl all   # telemetry report + JSON-lines trace *)
+     evaluate --stats --trace-out trace.jsonl all   # telemetry report + JSON-lines trace
+     evaluate --max-seconds 5 --quarantine-out q.jsonl all   # fault-isolated run
+
+   Exit codes: 0 on success, 1 when binaries were quarantined, 2 on usage
+   errors. *)
 
 open Cmdliner
 module Telemetry = Cet_telemetry.Registry
 module Report = Cet_telemetry.Report
 
-let run_eval what seed scale progress jobs no_timing stats trace_out =
+let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
+    quarantine_out fail_fast inject_fault =
   if jobs <= 0 then begin
     Printf.eprintf "evaluate: --jobs must be a positive worker count (got %d)\n" jobs;
     exit 2
@@ -19,10 +24,52 @@ let run_eval what seed scale progress jobs no_timing stats trace_out =
     Printf.eprintf "evaluate: --scale must be positive (got %g)\n" scale;
     exit 2
   end;
+  (match max_seconds with
+  | Some s when s <= 0.0 ->
+    Printf.eprintf "evaluate: --max-seconds must be positive (got %g)\n" s;
+    exit 2
+  | _ -> ());
+  (match inject_fault with
+  | Some n when n <= 0 ->
+    Printf.eprintf "evaluate: --inject-fault must be a positive modulus (got %d)\n" n;
+    exit 2
+  | _ -> ());
+  (* Open the quarantine report up front so an unwritable path is a usage
+     error before hours of evaluation, not after. *)
+  let quarantine_oc =
+    match quarantine_out with
+    | None -> None
+    | Some path -> (
+      try Some (path, open_out path)
+      with Sys_error msg ->
+        Printf.eprintf "evaluate: cannot open --quarantine-out file: %s\n" msg;
+        exit 2)
+  in
   if stats || trace_out <> None then
     Telemetry.enable ~trace:(trace_out <> None) ();
-  let opts = { Cet_eval.Harness.seed; scale; progress; timing = not no_timing } in
+  let fault =
+    match inject_fault with
+    | None -> None
+    | Some n ->
+      Some
+        (fun (b : Cet_corpus.Dataset.binary) ->
+          Hashtbl.hash (b.suite, b.program, Cet_compiler.Options.to_string b.config)
+          mod n
+          = 0)
+  in
+  let opts =
+    {
+      Cet_eval.Harness.seed;
+      scale;
+      progress;
+      timing = not no_timing;
+      max_seconds;
+      keep_going = not fail_fast;
+      fault;
+    }
+  in
   let t0 = Unix.gettimeofday () in
+  let status = ref 0 in
   let out =
     match what with
     | "manual-endbr" ->
@@ -33,18 +80,32 @@ let run_eval what seed scale progress jobs no_timing stats trace_out =
     | "inline-data" ->
       Cet_eval.Harness.render_inline_data (Cet_eval.Harness.inline_data ~jobs opts)
     | "arm" -> Cet_eval.Harness.render_arm (Cet_eval.Harness.arm_bti ~jobs opts)
-    | _ ->
+    | "all" | "table1" | "fig3" | "table2" | "table3" ->
       let results = Cet_eval.Harness.run ~jobs opts in
+      if results.Cet_eval.Harness.failures <> [] then begin
+        status := 1;
+        prerr_string (Cet_eval.Harness.render_failures results)
+      end;
+      (match quarantine_oc with
+      | None -> ()
+      | Some (path, oc) ->
+        Cet_eval.Harness.write_quarantine oc results;
+        Printf.eprintf "quarantine report written to %s (%d entries)\n" path
+          (List.length results.Cet_eval.Harness.failures));
       (match what with
       | "all" -> Cet_eval.Harness.render_all results
       | "table1" -> Cet_eval.Tables.Table1.render results.table1
       | "fig3" -> Cet_eval.Tables.Fig3.render results.fig3
       | "table2" -> Cet_eval.Tables.Table2.render results.table2
-      | "table3" -> Cet_eval.Tables.Table3.render results.table3
-      | other ->
-        Printf.sprintf
-          "unknown experiment %S (try all|table1|fig3|table2|table3|manual-endbr|extras|inline-data|arm)\n" other)
+      | _ -> Cet_eval.Tables.Table3.render results.table3)
+    | other ->
+      Printf.eprintf
+        "evaluate: unknown experiment %S (try \
+         all|table1|fig3|table2|table3|manual-endbr|extras|inline-data|arm)\n"
+        other;
+      exit 2
   in
+  Option.iter (fun (_, oc) -> close_out oc) quarantine_oc;
   let wall = Unix.gettimeofday () -. t0 in
   print_string out;
   if stats then begin
@@ -59,12 +120,13 @@ let run_eval what seed scale progress jobs no_timing stats trace_out =
         wall jobs
         (float_of_int (Report.self_total_ns ()) /. 1e9)
   end;
-  match trace_out with
+  (match trace_out with
   | None -> ()
   | Some path ->
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Report.write_trace oc);
-    Printf.eprintf "trace written to %s\n" path
+    Printf.eprintf "trace written to %s\n" path);
+  !status
 
 let what =
   let doc = "Which experiment to regenerate: all, table1, fig3, table2, table3, manual-endbr, extras, inline-data, arm." in
@@ -111,12 +173,51 @@ let trace_out =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let max_seconds =
+  let doc =
+    "Per-binary wall-clock budget in seconds.  A binary that exceeds it is \
+     quarantined (its partial results are discarded) and the run continues. \
+     Must be positive."
+  in
+  Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"SECONDS" ~doc)
+
+let quarantine_out =
+  let doc =
+    "Write quarantined binaries as JSON lines (suite, program, config, \
+     attempts, error, backtrace) to $(docv).  The file is opened before the \
+     run, so an unwritable path fails fast with exit code 2."
+  in
+  Arg.(value & opt (some string) None & info [ "quarantine-out" ] ~docv:"FILE" ~doc)
+
+let fail_fast =
+  let doc =
+    "Abort on the first failing binary, re-raising its exception (the default \
+     --keep-going quarantines failures and continues)."
+  in
+  let keep_doc = "Quarantine failing binaries and continue (the default)." in
+  Arg.(
+    value
+    & vflag false
+        [ (true, info [ "fail-fast" ] ~doc); (false, info [ "keep-going" ] ~doc:keep_doc) ])
+
+let inject_fault =
+  let doc =
+    "Testing hook: deterministically fail every binary whose identity hash is \
+     divisible by $(docv), exercising the quarantine path.  Must be positive."
+  in
+  Arg.(value & opt (some int) None & info [ "inject-fault" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate the FunSeeker paper's tables and figures" in
   Cmd.v
-    (Cmd.info "evaluate" ~doc)
+    (Cmd.info "evaluate" ~doc ~exits:
+       [
+         Cmd.Exit.info 0 ~doc:"on success.";
+         Cmd.Exit.info 1 ~doc:"when binaries were quarantined.";
+         Cmd.Exit.info 2 ~doc:"on usage errors (bad flags, unknown experiment).";
+       ])
     Term.(
       const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing $ stats
-      $ trace_out)
+      $ trace_out $ max_seconds $ quarantine_out $ fail_fast $ inject_fault)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

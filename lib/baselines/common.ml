@@ -130,7 +130,11 @@ let endbr_before (sweep : Linear.t) off =
 let prologue_scan (sweep : Linear.t) ~known ~aggressive ?visited ?(suppress = []) () =
   let known_set = Hashtbl.create (max 16 (List.length known)) in
   List.iter (fun a -> Hashtbl.replace known_set a ()) known;
-  let suppress = Cet_util.Itable.of_list (List.map (fun (lo, hi) -> (lo, hi, ())) suppress) in
+  (* Lenient: extents recovered from a corrupt .eh_frame can overlap, and
+     a suppression table that is merely smaller must not abort the scan. *)
+  let suppress =
+    Cet_util.Itable.of_list_lenient (List.map (fun (lo, hi) -> (lo, hi, ())) suppress)
+  in
   let hits = ref [] in
   Array.iter
     (fun (i : Decoder.ins) ->

@@ -24,6 +24,18 @@ type result = {
   resync_errors : int;
 }
 
+let empty_result =
+  {
+    functions = [];
+    endbr_total = 0;
+    filtered_indirect_return = 0;
+    filtered_landing_pads = 0;
+    call_target_count = 0;
+    jump_target_count = 0;
+    tail_calls_selected = 0;
+    resync_errors = 0;
+  }
+
 (* Greatest candidate start <= addr, with the extent ending at the next
    candidate (or the end of .text). *)
 let owner_extent starts text_end addr =
@@ -75,10 +87,22 @@ let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
    and at exception landing pads.  Split out of [analyze_sweep] so the
    phase can carry its own telemetry span (which also covers the PLT and
    LSDA parsing the filter needs, matching the paper's phase accounting). *)
-let filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp =
+let filter_endbr ?diag reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp =
       (* Drop end-branches that are return targets of indirect-return
-         imports (setjmp & co.), identified through the PLT. *)
-      let plt_map = Parse.plt reader in
+         imports (setjmp & co.), identified through the PLT.  On the robust
+         path ([diag] present) a corrupt relocation table degrades to "no
+         indirect-return filtering" instead of aborting the analysis. *)
+      let plt_map =
+        match diag with
+        | None -> Parse.plt reader
+        | Some diag -> (
+          try Parse.plt reader
+          with e ->
+            Cet_util.Diag.Collector.addf diag ~domain:"core" ~code:"plt"
+              "PLT map unavailable, indirect-return filtering disabled: %s"
+              (Printexc.to_string e);
+            { Parse.plt_lo = 0; plt_hi = 0; entries = [] })
+      in
       let ir_returns = Hashtbl.create 8 in
       List.iter
         (fun (_site, ret, target) ->
@@ -89,7 +113,11 @@ let filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp =
             | _ -> ())
         call_sites;
       (* Drop end-branches heading exception landing pads. *)
-      let lps = Parse.landing_pads reader in
+      let lps =
+        match diag with
+        | None -> Parse.landing_pads reader
+        | Some diag -> Parse.landing_pads_diag ~diag reader
+      in
       let lp_set = Hashtbl.create 64 in
       List.iter (fun a -> Hashtbl.replace lp_set a ()) lps;
       List.filter
@@ -133,7 +161,7 @@ let select_phase (sweep : Linear.t) ~call_sites ~base_candidates =
   in
   (List.sort_uniq compare (base_candidates @ selected), List.length selected)
 
-let analyze_sweep_impl config reader (sweep : Linear.t) =
+let analyze_sweep_impl ?diag config reader (sweep : Linear.t) =
   let endbrs, call_sites, calls, jmps =
     if Span.enabled () then
       Span.with_ ~name:"funseeker.collect" (fun () -> collect_candidates sweep)
@@ -144,8 +172,8 @@ let analyze_sweep_impl config reader (sweep : Linear.t) =
     if not config.filter_endbr then endbrs
     else if Span.enabled () then
       Span.with_ ~name:"funseeker.filter_endbr" (fun () ->
-          filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp)
-    else filter_endbr reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp
+          filter_endbr ?diag reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp)
+    else filter_endbr ?diag reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp
   in
   let base_candidates = List.sort_uniq compare (endbrs' @ calls) in
   let tail_selected = ref 0 in
@@ -207,3 +235,53 @@ let analyze ?(config = default_config) ?(anchored = false) reader =
 
 let analyze_bytes ?(config = default_config) ?(anchored = false) bytes =
   analyze ~config ~anchored (Cet_elf.Reader.read bytes)
+
+(* ---- Robust analysis path -------------------------------------------- *)
+
+module Diag = Cet_util.Diag
+
+let analyze_diag ?(config = default_config) ?(anchored = false) reader =
+  let diag = Diag.Collector.create () in
+  let result =
+    match Cet_disasm.Linear.(if anchored then sweep_text_anchored else sweep_text) reader with
+    | sweep -> (
+      try analyze_sweep_impl ~diag config reader sweep
+      with Cet_util.Deadline.Expired { what; seconds } ->
+        Diag.Collector.addf diag ~severity:Diag.Error ~domain:"core" ~code:"timeout"
+          "analysis exceeded the %gs budget (in %s)" seconds what;
+        empty_result)
+    | exception Invalid_argument _ ->
+      (* No .text: nothing to disassemble, but the binary parsed — report
+         an empty identification instead of failing the whole pipeline. *)
+      Diag.Collector.add diag
+        (Diag.error ~domain:"core" ~code:"no-text" "no .text section: empty analysis");
+      empty_result
+    | exception Cet_util.Deadline.Expired { what; seconds } ->
+      Diag.Collector.addf diag ~severity:Diag.Error ~domain:"core" ~code:"timeout"
+        "analysis exceeded the %gs budget (in %s)" seconds what;
+      empty_result
+  in
+  if Span.enabled () then
+    Cet_telemetry.Registry.count ~n:(Diag.Collector.count diag) "funseeker.diagnostics";
+  (result, Diag.Collector.list diag)
+
+let analyze_bytes_diag ?(config = default_config) ?(anchored = false) ?max_seconds bytes =
+  let run () =
+    match Cet_elf.Reader.read_diag bytes with
+    | Error d -> Error d
+    | Ok (reader, parse_diags) ->
+      let result, analysis_diags = analyze_diag ~config ~anchored reader in
+      Ok (result, parse_diags @ analysis_diags)
+  in
+  match max_seconds with
+  | None -> run ()
+  | Some seconds -> (
+    try Cet_util.Deadline.with_ ~seconds run
+    with Cet_util.Deadline.Expired { what; seconds } ->
+      (* Expiry inside the ELF parse itself (analyze_diag catches its own). *)
+      Ok
+        ( empty_result,
+          [
+            Diag.makef ~severity:Diag.Error ~domain:"core" ~code:"timeout"
+              "analysis exceeded the %gs budget (in %s)" seconds what;
+          ] ))

@@ -58,6 +58,34 @@ val analyze_sweep :
 val analyze_bytes : ?config:config -> ?anchored:bool -> string -> result
 (** Convenience: parse ELF bytes then {!analyze}. *)
 
+val empty_result : result
+(** All-zero result — what the robust path returns when nothing is
+    analyzable (no [.text], expired deadline). *)
+
+val analyze_diag :
+  ?config:config ->
+  ?anchored:bool ->
+  Cet_elf.Reader.t ->
+  result * Cet_util.Diag.t list
+(** Non-raising {!analyze} for untrusted binaries.  Corrupt exception
+    tables degrade FILTERENDBR (skipped LSDAs, salvaged [.eh_frame]
+    prefix) rather than aborting; a missing [.text] or an expired
+    {!Cet_util.Deadline} yields {!empty_result} with a [core/no-text] or
+    [core/timeout] error diagnostic.  Every degradation is reported in the
+    returned list.  Never raises. *)
+
+val analyze_bytes_diag :
+  ?config:config ->
+  ?anchored:bool ->
+  ?max_seconds:float ->
+  string ->
+  (result * Cet_util.Diag.t list, Cet_util.Diag.t) Stdlib.result
+(** End-to-end robust pipeline: {!Cet_elf.Reader.read_diag} then
+    {!analyze_diag}, optionally under a [max_seconds] wall-clock budget
+    ({!Cet_util.Deadline.with_}).  [Error] only when the ELF itself is
+    unreadable; everything downstream degrades into diagnostics.  Never
+    raises. *)
+
 val select_tail_calls :
   candidates:int list ->
   jmp_refs:(int * int) list ->

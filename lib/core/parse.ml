@@ -36,6 +36,49 @@ let landing_pads reader =
     |> List.sort_uniq compare
   | _ -> []
 
+(* Robust variant of [landing_pads] for untrusted binaries: a corrupt
+   [.eh_frame] yields the salvageable frame prefix, and each corrupt LSDA is
+   skipped individually (summarised in one diagnostic) instead of aborting
+   the whole FILTERENDBR landing-pad set. *)
+let landing_pads_diag ~diag reader =
+  match (Reader.find_section reader ".eh_frame", Reader.find_section reader ".gcc_except_table") with
+  | Some eh, Some get ->
+    let frames, frame_diags = Cet_eh.Eh_frame.decode_result ~vaddr:eh.vaddr eh.data in
+    List.iter (Cet_util.Diag.Collector.add diag) frame_diags;
+    let skipped = ref 0 in
+    let first_err = ref None in
+    let pads =
+      List.concat_map
+        (fun (f : Cet_eh.Eh_frame.frame) ->
+          match f.lsda with
+          | None -> []
+          | Some lsda_vaddr ->
+            let off = lsda_vaddr - get.vaddr in
+            if off < 0 || off >= String.length get.data then begin
+              incr skipped;
+              if !first_err = None then
+                first_err :=
+                  Some (Printf.sprintf "LSDA vaddr 0x%x outside .gcc_except_table" lsda_vaddr);
+              []
+            end
+            else
+              match Cet_eh.Lsda.decode_result get.data ~off with
+              | Ok lsda -> Cet_eh.Lsda.landing_pads lsda ~func_start:f.pc_begin
+              | Error d ->
+                incr skipped;
+                if !first_err = None then first_err := Some (Cet_util.Diag.to_string d);
+                [])
+        frames
+      |> List.sort_uniq compare
+    in
+    if !skipped > 0 then
+      Cet_util.Diag.Collector.addf diag ~domain:"core" ~code:"lsda-skipped"
+        "%d of %d LSDA references unusable, first: %s" !skipped
+        (List.length (List.filter (fun (f : Cet_eh.Eh_frame.frame) -> f.lsda <> None) frames))
+        (Option.value !first_err ~default:"?");
+    pads
+  | _ -> []
+
 let text_section reader = Reader.find_section reader ".text"
 
 let indirect_return_imports =

@@ -23,6 +23,13 @@ val landing_pads : Cet_elf.Reader.t -> int list
 (** Sorted landing-pad (catch-block) virtual addresses, or [] for binaries
     without exception tables. *)
 
+val landing_pads_diag : diag:Cet_util.Diag.Collector.t -> Cet_elf.Reader.t -> int list
+(** Non-raising {!landing_pads} for untrusted binaries: a corrupt
+    [.eh_frame] contributes only its salvageable frame prefix, corrupt or
+    out-of-range LSDAs are skipped individually, and every degradation is
+    reported into [diag] ([eh/eh-frame], [core/lsda-skipped]).  Never
+    raises. *)
+
 val text_section : Cet_elf.Reader.t -> Cet_elf.Reader.section option
 
 val indirect_return_imports : string list

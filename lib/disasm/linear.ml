@@ -10,17 +10,25 @@ type t = {
   resync_errors : int;
 }
 
+(* Deadline polling cadence: one wall-clock read per 4096 sweep steps keeps
+   the overhead unmeasurable while bounding overshoot to a few microseconds
+   of decoding. *)
+let deadline_mask = 4095
+
 let sweep_impl arch base code =
   let size = String.length code in
   let insns = ref [] in
   let errors = ref 0 in
   let off = ref 0 in
+  let tick = ref 0 in
   (* [resync_errors] counts desynchronisation events, not undecodable
      bytes: a 40-byte inline-data run the sweep has to skip through is one
      resynchronisation, so the counter tracks how often the sweep lost the
      instruction stream. *)
   let desynced = ref false in
   while !off < size do
+    incr tick;
+    if !tick land deadline_mask = 0 then Cet_util.Deadline.check "disasm.sweep";
     match Decoder.decode arch code ~base ~off:!off with
     | Ok ins ->
       desynced := false;
@@ -82,6 +90,7 @@ let sweep_anchored_impl arch base code =
   let insns = ref [] in
   let errors = ref 0 in
   let off = ref 0 in
+  let tick = ref 0 in
   (* Trust tracking (probabilistic-disassembly-lite): once a decode fails,
      everything up to the next end-branch anchor is suspected inline data
      and its (garbage) instructions are withheld from the stream, so no
@@ -90,6 +99,8 @@ let sweep_anchored_impl arch base code =
   let anchor_set = Hashtbl.create (Array.length anchors) in
   Array.iter (fun a -> Hashtbl.replace anchor_set a ()) anchors;
   while !off < size do
+    incr tick;
+    if !tick land deadline_mask = 0 then Cet_util.Deadline.check "disasm.sweep_anchored";
     if Hashtbl.mem anchor_set !off then trusted := true;
     match Decoder.decode arch code ~base ~off:!off with
     | Ok ins -> (

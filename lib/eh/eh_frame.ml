@@ -92,7 +92,7 @@ let encode ~vaddr ~personality frames =
 
 type cie_info = { c_fde_enc : int; c_lsda_enc : int option; c_aug_z : bool }
 
-let decode ~vaddr data =
+let decode_impl ~lenient ~diag ~vaddr data =
   let len = String.length data in
   let cies = Hashtbl.create 4 in
   let frames = ref [] in
@@ -177,5 +177,21 @@ let decode ~vaddr data =
        end;
        pos := body_start + record_len
      done
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | (Invalid_argument _ | R.Out_of_bounds _) as e ->
+    (* Lenient mode salvages every record before the corrupt one. *)
+    if not lenient then raise e
+    else
+      Cet_util.Diag.Collector.addf diag ~domain:"eh" ~code:"eh-frame"
+        ".eh_frame walk stopped at byte %d of %d: %s (%d frames salvaged)" !pos
+        len (Printexc.to_string e) (List.length !frames));
   List.rev !frames
+
+let decode ~vaddr data =
+  decode_impl ~lenient:false ~diag:(Cet_util.Diag.Collector.create ()) ~vaddr data
+
+let decode_result ~vaddr data =
+  let diag = Cet_util.Diag.Collector.create () in
+  let frames = decode_impl ~lenient:true ~diag ~vaddr data in
+  (frames, Cet_util.Diag.Collector.list diag)

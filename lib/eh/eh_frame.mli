@@ -31,3 +31,9 @@ val decode : vaddr:int -> string -> frame list
 (** Parse section bytes living at [vaddr].  Unknown augmentations are
     skipped conservatively; raises [Invalid_argument] on structural
     corruption. *)
+
+val decode_result : vaddr:int -> string -> frame list * Cet_util.Diag.t list
+(** Non-raising {!decode} for untrusted sections: on structural corruption
+    the walk stops and every record before the corrupt one is returned,
+    with an [eh/eh-frame] diagnostic describing where it stopped.  Never
+    raises. *)

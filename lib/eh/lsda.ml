@@ -101,6 +101,18 @@ let decode data ~off =
   end;
   { call_sites = List.rev !sites; type_count = !type_count_hint }
 
+(* Robust wrapper: LSDA parsing consumes attacker-controlled bytes in the
+   FILTERENDBR path, so decode failures must be reportable as values. *)
+let decode_result data ~off =
+  match decode data ~off with
+  | t -> Ok t
+  | exception Invalid_argument msg ->
+    Error (Cet_util.Diag.error ~domain:"eh" ~code:"lsda-malformed" msg)
+  | exception R.Out_of_bounds what ->
+    Error
+      (Cet_util.Diag.makef ~severity:Cet_util.Diag.Error ~domain:"eh"
+         ~code:"lsda-truncated" "LSDA truncated (%s)" what)
+
 let landing_pads t ~func_start =
   List.filter_map
     (fun c -> if c.cs_landing_pad = 0 then None else Some (func_start + c.cs_landing_pad))

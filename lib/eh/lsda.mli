@@ -28,7 +28,14 @@ val build_table : t list -> string * int list
     offsets FDE LSDA pointers reference. *)
 
 val decode : string -> off:int -> t
-(** Parse the LSDA starting at [off] in section contents. *)
+(** Parse the LSDA starting at [off] in section contents.  Raises
+    [Invalid_argument] (unsupported encoding, malformed table) or
+    {!Cet_util.Bytesio.R.Out_of_bounds} (truncation). *)
+
+val decode_result : string -> off:int -> (t, Cet_util.Diag.t) result
+(** Non-raising {!decode}: failures become [eh/lsda-malformed] or
+    [eh/lsda-truncated] diagnostics, letting the LSDA walk skip a corrupt
+    record and keep the rest. *)
 
 val landing_pads : t -> func_start:int -> int list
 (** Absolute virtual addresses of the LSDA's landing pads (non-zero ones),

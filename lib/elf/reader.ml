@@ -29,8 +29,35 @@ let cstring data off =
   | Some stop -> String.sub data off (stop - off)
   | None -> fail "unterminated string at %d" off
 
-let read_exn bytes =
-  if String.length bytes < 52 then fail "file too short";
+(* Sections larger than this are not analysis inputs but resource attacks
+   (every legitimate corpus image is a few hundred KiB); the lenient
+   parser refuses their payload with a resource-limit diagnostic. *)
+let section_size_cap = 1 lsl 28
+
+(* [in_bounds len off size]: does [off, off+size) fit a [len]-byte file?
+   Written without the addition so a declared 2^61-scale offset/size pair
+   cannot wrap past [max_int] and slip through (the satellite overflow
+   class). *)
+let in_bounds len off size = off >= 0 && size >= 0 && size <= len && off <= len - size
+
+(* One parser, two strictness modes.  [lenient = false] reproduces the
+   historical contract: raise {!Malformed} on anything structurally off.
+   [lenient = true] (the analysis path, via {!read_diag}) degrades
+   instead wherever a partial result is still meaningful — truncated
+   section header tables are salvaged up to the last full entry,
+   unresolvable names become [""], out-of-range section payloads are
+   clamped to the bytes present — each with a diagnostic.  Failures that
+   leave nothing to analyze (bad magic, unreadable fixed header, no
+   usable section headers) raise in both modes. *)
+let read_impl ~lenient ~diag bytes =
+  let soft ?severity ~code fmt =
+    Printf.ksprintf
+      (fun msg -> Cet_util.Diag.Collector.add diag
+          (Cet_util.Diag.make ?severity ~domain:"elf" ~code msg))
+      fmt
+  in
+  let len = String.length bytes in
+  if len < 52 then fail "file too short";
   if String.sub bytes 0 4 <> "\x7fELF" then fail "bad magic";
   let cls = Char.code bytes.[4] in
   let arch =
@@ -60,6 +87,16 @@ let read_exn bytes =
   let shnum = R.u16 r in
   let shstrndx = R.u16 r in
   if shnum = 0 then fail "no sections";
+  let shentsize =
+    let standard = if is64 then 64 else 40 in
+    if shentsize >= standard && shentsize <= 4096 then shentsize
+    else if not lenient then shentsize (* strict: let the walk fail as before *)
+    else begin
+      soft ~code:"shentsize" "implausible e_shentsize %d; assuming %d" shentsize
+        standard;
+      standard
+    end
+  in
   let read_shdr i =
     R.seek r (shoff + (i * shentsize));
     let name_off = R.u32 r in
@@ -74,31 +111,72 @@ let read_exn bytes =
     let entsize = addr () in
     (name_off, sh_type, flags, vaddr, offset, size, entsize, addralign)
   in
-  let raw = List.init shnum read_shdr in
-  let _, _, _, _, str_off, str_size, _, _ =
-    try List.nth raw shstrndx with Failure _ -> fail "bad shstrndx"
+  let raw =
+    if not lenient then List.init shnum read_shdr
+    else begin
+      (* Salvage the prefix of the table that is actually present. *)
+      let out = ref [] in
+      (try
+         for i = 0 to shnum - 1 do
+           out := read_shdr i :: !out
+         done
+       with R.Out_of_bounds _ | Invalid_argument _ ->
+         soft ~code:"shdr-truncated"
+           "section header table truncated: %d of %d entries readable"
+           (List.length !out) shnum);
+      List.rev !out
+    end
   in
-  let shstr = String.sub bytes str_off str_size in
+  if lenient && raw = [] then fail "no readable section headers";
+  let shstr =
+    match List.nth_opt raw shstrndx with
+    | Some (_, _, _, _, str_off, str_size, _, _)
+      when in_bounds len str_off str_size ->
+      String.sub bytes str_off str_size
+    | _ when not lenient -> fail "bad shstrndx"
+    | _ ->
+      soft ~code:"shstrtab" "unusable section name table (index %d)" shstrndx;
+      ""
+  in
   let sections =
     List.filteri (fun i _ -> i > 0) raw
     |> List.map (fun (name_off, sh_type, flags, vaddr, offset, size, entsize, addralign) ->
-           let data =
-             if sh_type = Consts.sht_nobits then ""
-             else if offset + size > String.length bytes then fail "section overflow"
-             else String.sub bytes offset size
+           let name =
+             if not lenient then cstring shstr name_off
+             else if name_off >= String.length shstr then ""
+             else
+               match String.index_from_opt shstr name_off '\000' with
+               | Some stop -> String.sub shstr name_off (stop - name_off)
+               | None -> ""
            in
-           {
-             name = cstring shstr name_off;
-             sh_type;
-             flags;
-             vaddr;
-             size;
-             entsize;
-             addralign;
-             data;
-           })
+           let data, size =
+             if sh_type = Consts.sht_nobits then ("", size)
+             else if in_bounds len offset size then
+               if lenient && size > section_size_cap then begin
+                 soft ~severity:Cet_util.Diag.Error ~code:"resource-limit"
+                   "section %S: %d bytes exceeds the %d-byte cap; payload dropped"
+                   name size section_size_cap;
+                 ("", 0)
+               end
+               else (String.sub bytes offset size, size)
+             else if not lenient then fail "section overflow"
+             else begin
+               (* Clamp to the bytes that exist. *)
+               let off' = min (max offset 0) len in
+               let avail = len - off' in
+               let kept = min (max size 0) avail in
+               soft ~code:"section-clamp"
+                 "section %S: declared [%d, +%d) exceeds the %d-byte file; kept %d bytes"
+                 name offset size len kept;
+               (String.sub bytes off' kept, kept)
+             end
+           in
+           { name; sh_type; flags; vaddr; size; entsize; addralign; data })
   in
   { arch; machine; pie = e_type = Consts.et_dyn; entry; sections }
+
+let read_exn bytes =
+  read_impl ~lenient:false ~diag:(Cet_util.Diag.Collector.create ()) bytes
 
 let read_guarded bytes =
   try read_exn bytes with
@@ -112,6 +190,26 @@ let read bytes =
   if Cet_telemetry.Span.enabled () then
     Cet_telemetry.Span.with_ ~name:"elf.read" (fun () -> read_guarded bytes)
   else read_guarded bytes
+
+let read_diag_impl bytes =
+  let diag = Cet_util.Diag.Collector.create () in
+  match read_impl ~lenient:true ~diag bytes with
+  | t -> Ok (t, Cet_util.Diag.Collector.list diag)
+  | exception Malformed msg ->
+    Error (Cet_util.Diag.error ~domain:"elf" ~code:"malformed" msg)
+  | exception R.Out_of_bounds what ->
+    Error
+      (Cet_util.Diag.makef ~severity:Cet_util.Diag.Error ~domain:"elf"
+         ~code:"truncated" "truncated structure (%s)" what)
+  | exception Invalid_argument what ->
+    Error
+      (Cet_util.Diag.makef ~severity:Cet_util.Diag.Error ~domain:"elf"
+         ~code:"malformed" "malformed structure (%s)" what)
+
+let read_diag bytes =
+  if Cet_telemetry.Span.enabled () then
+    Cet_telemetry.Span.with_ ~name:"elf.read" (fun () -> read_diag_impl bytes)
+  else read_diag_impl bytes
 
 let arch t = t.arch
 let machine t = t.machine

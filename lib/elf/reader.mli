@@ -20,6 +20,18 @@ exception Malformed of string
 val read : string -> t
 (** Parse ELF bytes. Raises {!Malformed} on anything structurally broken. *)
 
+val read_diag : string -> (t * Cet_util.Diag.t list, Cet_util.Diag.t) result
+(** Lenient parse for untrusted inputs — the robust analysis path.  Where
+    {!read} raises, [read_diag] degrades whenever a partial image is still
+    meaningful, reporting every degradation as a diagnostic: a truncated
+    section header table is salvaged up to the last complete entry, an
+    unusable [.shstrtab] leaves sections unnamed, out-of-range section
+    payloads are clamped to the bytes present ([section-clamp]), and
+    payloads beyond the sanity cap are refused ([resource-limit]).
+    [Error] is returned only when nothing is analyzable: bad magic,
+    unreadable fixed header, or no readable section headers.  Never
+    raises. *)
+
 val arch : t -> Cet_x86.Arch.t
 
 val machine : t -> int

@@ -4,9 +4,35 @@ module Options = Cet_compiler.Options
 module Dataset = Cet_corpus.Dataset
 module Domain_pool = Cet_util.Domain_pool
 
-type options = { seed : int; scale : float; progress : bool; timing : bool }
+type options = {
+  seed : int;
+  scale : float;
+  progress : bool;
+  timing : bool;
+  max_seconds : float option;
+  keep_going : bool;
+  fault : (Dataset.binary -> bool) option;
+}
 
-let default_options = { seed = 2022; scale = 0.25; progress = false; timing = true }
+let default_options =
+  {
+    seed = 2022;
+    scale = 0.25;
+    progress = false;
+    timing = true;
+    max_seconds = None;
+    keep_going = true;
+    fault = None;
+  }
+
+type failure = {
+  f_suite : string;
+  f_program : string;
+  f_config : string;
+  f_attempts : int;
+  f_error : string;
+  f_backtrace : string;
+}
 
 type results = {
   table1 : Tables.Table1.t;
@@ -15,6 +41,7 @@ type results = {
   table3 : Tables.Table3.t;
   binaries : int;
   functions : int;
+  failures : failure list;
 }
 
 let arch_name = function Cet_x86.Arch.X86 -> "x86" | Cet_x86.Arch.X64 -> "x64"
@@ -38,6 +65,7 @@ let empty_results () =
     table3 = Tables.Table3.create ();
     binaries = 0;
     functions = 0;
+    failures = [];
   }
 
 let merge_results into src =
@@ -49,9 +77,11 @@ let merge_results into src =
     into with
     binaries = into.binaries + src.binaries;
     functions = into.functions + src.functions;
+    failures = into.failures @ src.failures;
   }
 
 let run ?profiles ?configs ?jobs (opts : options) =
+  Printexc.record_backtrace true;
   let plan = Dataset.plan ?profiles ?configs ~seed:opts.seed ~scale:opts.scale () in
   let total_binaries = Dataset.binaries plan in
   let t0 = Unix.gettimeofday () in
@@ -125,14 +155,63 @@ let run ?profiles ?configs ?jobs (opts : options) =
       Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"fetch" fetch_time;
     { acc with binaries = acc.binaries + 1; functions = acc.functions + List.length truth }
   in
-  let eval_binary acc bin =
-    let acc =
+  (* Fault isolation: every binary is evaluated into a FRESH accumulator
+     so a mid-flight exception cannot leave partial rows behind; only a
+     completed evaluation is merged into the worker's tables.  A failing
+     binary is retried once (a deadline expiry is not transient, so it is
+     not), then quarantined with its backtrace — or, under [fail-fast],
+     re-raised to abort the run. *)
+  let attempt (bin : Dataset.binary) =
+    let fresh = empty_results () in
+    let work () =
+      (match opts.fault with
+      | Some is_faulty when is_faulty bin ->
+        failwith (Printf.sprintf "injected fault: %s/%s" bin.suite bin.program)
+      | _ -> ());
       if Cet_telemetry.Span.enabled () then
         Cet_telemetry.Span.with_ ~name:"harness.binary" (fun () ->
-            eval_binary_impl acc bin)
-      else eval_binary_impl acc bin
+            eval_binary_impl fresh bin)
+      else eval_binary_impl fresh bin
     in
-    Cet_telemetry.Registry.count "harness.binaries";
+    match opts.max_seconds with
+    | None -> work ()
+    | Some seconds -> Cet_util.Deadline.with_ ~seconds work
+  in
+  let failure_of (bin : Dataset.binary) ~attempts e bt =
+    {
+      f_suite = bin.suite;
+      f_program = bin.program;
+      f_config = Options.to_string bin.config;
+      f_attempts = attempts;
+      f_error = Printexc.to_string e;
+      f_backtrace = Printexc.raw_backtrace_to_string bt;
+    }
+  in
+  let eval_binary acc (bin : Dataset.binary) =
+    let acc =
+      match attempt bin with
+      | fresh ->
+        Cet_telemetry.Registry.count "harness.binaries";
+        merge_results acc fresh
+      | exception e1 -> (
+        let bt1 = Printexc.get_raw_backtrace () in
+        let retryable = match e1 with Cet_util.Deadline.Expired _ -> false | _ -> true in
+        if retryable then Cet_telemetry.Registry.count "harness.retried";
+        let quarantine ~attempts e bt =
+          if not opts.keep_going then Printexc.raise_with_backtrace e bt;
+          Cet_telemetry.Registry.count "harness.quarantined";
+          { acc with failures = acc.failures @ [ failure_of bin ~attempts e bt ] }
+        in
+        if not retryable then quarantine ~attempts:1 e1 bt1
+        else
+          match attempt bin with
+          | fresh ->
+            Cet_telemetry.Registry.count "harness.binaries";
+            merge_results acc fresh
+          | exception e2 ->
+            let bt2 = Printexc.get_raw_backtrace () in
+            quarantine ~attempts:2 e2 bt2)
+    in
     let seen = Atomic.fetch_and_add progress 1 + 1 in
     if opts.progress then show_progress seen;
     acc
@@ -398,3 +477,41 @@ let render_all r =
       Tables.Table2.render r.table2;
       Tables.Table3.render r.table3;
     ]
+
+let render_failures r =
+  match r.failures with
+  | [] -> ""
+  | fs ->
+    let line f =
+      Printf.sprintf "  %s/%s [%s]: %s (%d attempt%s)" f.f_suite f.f_program f.f_config
+        f.f_error f.f_attempts
+        (if f.f_attempts = 1 then "" else "s")
+    in
+    Printf.sprintf "QUARANTINED BINARIES (%d):\n%s\n" (List.length fs)
+      (String.concat "\n" (List.map line fs))
+
+(* Minimal JSON string escaping — the quarantine report must not drag in a
+   JSON library for six fields. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_quarantine oc r =
+  List.iter
+    (fun f ->
+      Printf.fprintf oc
+        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"attempts\":%d,\"error\":\"%s\",\"backtrace\":\"%s\"}\n"
+        (json_escape f.f_suite) (json_escape f.f_program) (json_escape f.f_config)
+        f.f_attempts (json_escape f.f_error) (json_escape f.f_backtrace))
+    r.failures

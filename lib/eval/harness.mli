@@ -23,17 +23,40 @@ type options = {
   timing : bool;
       (** measure per-binary wall-clock for Table III; [false] zeroes the
           timing columns and makes rendered output fully deterministic *)
+  max_seconds : float option;
+      (** per-binary wall-clock budget ({!Cet_util.Deadline}); an expired
+          binary is quarantined without retry *)
+  keep_going : bool;
+      (** [true] (the default): a failing binary is quarantined into
+          {!results.failures} and the run continues.  [false] (fail-fast):
+          the first failure re-raises with its backtrace. *)
+  fault : (Cet_corpus.Dataset.binary -> bool) option;
+      (** test hook: binaries selected by this predicate fail with an
+          injected exception, exercising the quarantine path *)
 }
 
 val default_options : options
+(** [keep_going = true], no deadline, no fault injection. *)
+
+(** One quarantined binary: identity, the error of its final attempt, and
+    that attempt's backtrace. *)
+type failure = {
+  f_suite : string;
+  f_program : string;
+  f_config : string;  (** {!Cet_compiler.Options.to_string} descriptor *)
+  f_attempts : int;  (** 1 for non-retryable failures (deadline), else 2 *)
+  f_error : string;
+  f_backtrace : string;
+}
 
 type results = {
   table1 : Tables.Table1.t;
   fig3 : Tables.Fig3.t;
   table2 : Tables.Table2.t;
   table3 : Tables.Table3.t;
-  binaries : int;
+  binaries : int;  (** successfully evaluated binaries *)
   functions : int;  (** total ground-truth functions across the dataset *)
+  failures : failure list;  (** quarantined binaries, in plan order *)
 }
 
 val run :
@@ -42,8 +65,22 @@ val run :
   ?jobs:int ->
   options ->
   results
+(** Fault-isolated: each binary is evaluated into a fresh accumulator that
+    is merged only on success, so a crashing or injected-fault binary
+    contributes nothing (no partial table rows).  Failures are retried
+    once (deadline expiries are not) and then quarantined under
+    [keep_going], or re-raised under fail-fast.  The merged tables are
+    byte-identical across [jobs] for the surviving set. *)
 
 val render_all : results -> string
+
+val render_failures : results -> string
+(** Human-readable quarantine summary; [""] when nothing failed. *)
+
+val write_quarantine : out_channel -> results -> unit
+(** One JSON object per failure per line
+    ([suite]/[program]/[config]/[attempts]/[error]/[backtrace]) — the
+    [--quarantine-out] report format. *)
 
 val arch_name : Cet_x86.Arch.t -> string
 (** Table III row key: ["x86"] or ["x64"]. *)

@@ -1,0 +1,47 @@
+(** Deterministic ELF mutation fuzzer for the robust analysis path.
+
+    A small pool of well-formed corpus binaries (both architectures, C and
+    C++, inline jump tables) is corrupted by seeded mutations — ELF header
+    bytes, section-header-table bytes, [.gcc_except_table]/[.eh_frame]
+    truncation and corruption, blind byte flips, file truncation — and each
+    mutant is fed to {!Core.Funseeker.analyze_bytes_diag} under a deadline.
+    The contract under test: the robust pipeline NEVER raises and never
+    hangs, whatever the bytes; corruption surfaces only as diagnostics or a
+    clean [Error].
+
+    Everything is deterministic in [seed]: the pool, every mutation, and
+    therefore the whole {!summary} (timing aside, the deadline is generous
+    relative to these micro binaries). *)
+
+type crash = {
+  c_class : string;  (** mutation class that produced the mutant *)
+  c_index : int;  (** mutant number, for replay with the same seed *)
+  c_error : string;
+  c_backtrace : string;
+}
+
+type summary = {
+  total : int;
+  per_class : (string * int) list;  (** mutants drawn per mutation class *)
+  clean : int;  (** analyzed with no diagnostics *)
+  degraded : int;  (** analyzed with diagnostics *)
+  rejected : int;  (** unreadable ELF, reported as a clean [Error] *)
+  timeouts : int;  (** degraded analyses that hit the deadline *)
+  crashes : crash list;  (** escaped exceptions — must be empty *)
+}
+
+val classes : string array
+(** The mutation-class names, in draw order. *)
+
+val mutate : Cet_util.Prng.t -> cls:string -> string -> string
+(** One seeded mutation of the given class applied to a copy of the bytes
+    (exposed for regression tests).  Classes whose target structure cannot
+    be located fall back to blind byte flips. *)
+
+val run : ?max_seconds:float -> seed:int -> count:int -> unit -> summary
+(** Fuzz [count] mutants.  [max_seconds] (default 2.0) bounds each mutant's
+    analysis via {!Cet_util.Deadline}. *)
+
+val render : summary -> string
+(** Deterministic human-readable summary, crashes (with backtraces)
+    included. *)

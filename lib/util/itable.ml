@@ -16,6 +16,24 @@ let of_list ivs =
     arr;
   arr
 
+let of_list_lenient ivs =
+  let ivs =
+    List.filter (fun (lo, hi, _) -> lo < hi) ivs
+    |> List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  (* Keep the first interval of every overlapping run (stable sort, so the
+     outcome is deterministic in the input order). *)
+  let kept = ref [] in
+  let last_hi = ref min_int in
+  List.iter
+    (fun (lo, hi, v) ->
+      if lo >= !last_hi then begin
+        kept := (lo, hi, v) :: !kept;
+        last_hi := hi
+      end)
+    ivs;
+  Array.of_list (List.rev !kept)
+
 let find t x =
   let rec search lo hi =
     if lo >= hi then None

@@ -11,6 +11,13 @@ val of_list : (int * int * 'a) list -> 'a t
     \[lo, hi).  Intervals must be disjoint (empty intervals are dropped);
     raises [Invalid_argument] on overlap. *)
 
+val of_list_lenient : (int * int * 'a) list -> 'a t
+(** Like {!of_list} but tolerant of corrupt inputs: overlapping intervals
+    are resolved by keeping the first of each overlapping run in [lo]
+    order (stable, hence deterministic) instead of raising.  For interval
+    sets recovered from untrusted binaries — e.g. FDE extents out of a
+    malformed [.eh_frame]. *)
+
 val find : 'a t -> int -> (int * int * 'a) option
 (** [find t x] returns the interval containing [x], if any. *)
 

@@ -29,23 +29,39 @@ let byte s pos =
   if pos >= String.length s then invalid_arg "Leb128: truncated input"
   else Char.code s.[pos]
 
+(* OCaml ints hold 63 bits (bit 62 is the sign).  An overlong encoding
+   whose payload shifts past that silently wraps through the sign bit, so
+   both readers bound the shift: any continuation byte that would place
+   payload bits at or above bit 62 — or any encoding longer than 9 bytes —
+   is rejected rather than wrapped. *)
+let max_shift = 56 (* the 9th byte's chunk starts here; bits 56..61 remain *)
+
 let read_u s pos =
   let rec go acc shift pos =
     let b = byte s pos in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
+    let chunk = b land 0x7f in
+    if shift > max_shift || (shift = max_shift && chunk lsr 6 <> 0) then
+      invalid_arg "Leb128: overlong encoding"
+    else
+      let acc = acc lor (chunk lsl shift) in
+      if b land 0x80 = 0 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
   in
   go 0 0 pos
 
 let read_s s pos =
   let rec go acc shift pos =
     let b = byte s pos in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    let shift = shift + 7 in
-    if b land 0x80 = 0 then
-      let acc = if b land 0x40 <> 0 && shift < 63 then acc lor (-1 lsl shift) else acc in
-      (acc, pos + 1)
-    else go acc shift (pos + 1)
+    let chunk = b land 0x7f in
+    (* The 9th byte's chunk spans bits 56..62 and bit 62 is the sign, so
+       every 7-bit chunk is representable there; only a 10th byte is not. *)
+    if shift > max_shift then invalid_arg "Leb128: overlong encoding"
+    else
+      let acc = acc lor (chunk lsl shift) in
+      let shift = shift + 7 in
+      if b land 0x80 = 0 then
+        let acc = if b land 0x40 <> 0 && shift < 63 then acc lor (-1 lsl shift) else acc in
+        (acc, pos + 1)
+      else go acc shift (pos + 1)
   in
   go 0 0 pos
 

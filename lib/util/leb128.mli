@@ -9,10 +9,13 @@ val write_s : Buffer.t -> int -> unit
 
 val read_u : string -> int -> int * int
 (** [read_u s pos] decodes an unsigned LEB128 starting at [pos] and returns
-    [(value, next_pos)]. Raises [Invalid_argument] on truncated input. *)
+    [(value, next_pos)]. Raises [Invalid_argument] on truncated input and
+    on overlong encodings whose payload would not fit a non-negative OCaml
+    int (63-bit word) — the shift is bounded, never wrapped. *)
 
 val read_s : string -> int -> int * int
-(** Signed counterpart of {!read_u}. *)
+(** Signed counterpart of {!read_u}; rejects encodings longer than 9 bytes
+    (the widest that fits a 63-bit int). *)
 
 val size_u : int -> int
 (** Encoded byte length of an unsigned value. *)

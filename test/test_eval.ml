@@ -121,7 +121,7 @@ let test_harness_shapes () =
   let results =
     Harness.run
       ~profiles:[ micro_profile; micro_spec ]
-      { Harness.seed = 99; scale = 1.0; progress = false; timing = true }
+      { Harness.default_options with Harness.seed = 99; scale = 1.0; timing = true }
   in
   check Alcotest.int "binaries" 96 results.Harness.binaries;
   check Alcotest.bool "functions counted" true (results.Harness.functions > 1000);
@@ -239,7 +239,7 @@ let test_parallel_equivalence () =
      partial tables in plan order and renders byte-identically to the
      sequential run.  [timing = false] pins the only nondeterministic
      columns (wall clock) to zero. *)
-  let opts = { Harness.seed = 99; scale = 1.0; progress = false; timing = false } in
+  let opts = { Harness.default_options with Harness.seed = 99; scale = 1.0; timing = false } in
   let profiles = [ micro_profile; micro_spec ] in
   let seq = Harness.run ~profiles ~jobs:1 opts in
   let par = Harness.run ~profiles ~jobs:4 opts in

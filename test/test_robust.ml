@@ -1,0 +1,357 @@
+(* Robustness regressions: the typed-diagnostics path, overflow-safe
+   parsing, the fault-isolated harness, and crash classes surfaced by the
+   cetfuzz mutation engine.  Each numbered crash-class test failed (an
+   uncaught exception) before the corresponding fix. *)
+
+module Arch = Cet_x86.Arch
+module Image = Cet_elf.Image
+module Writer = Cet_elf.Writer
+module Reader = Cet_elf.Reader
+module Diag = Cet_util.Diag
+module Deadline = Cet_util.Deadline
+module Harness = Cet_eval.Harness
+
+let check = Alcotest.check
+
+let has_code code diags = List.exists (fun (d : Diag.t) -> d.Diag.code = code) diags
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- Leb128 overflow (satellite fix) ---------------------------------- *)
+
+let test_leb128_overlong () =
+  (* Pre-fix: ten continuation bytes shifted past the 63-bit word, so the
+     accumulated value wrapped silently (and far longer inputs kept
+     looping); decoding now rejects any encoding that cannot fit. *)
+  let overlong = String.make 10 '\xff' in
+  let raises f = try ignore (f ()) ; false with Invalid_argument _ -> true in
+  check Alcotest.bool "unsigned overlong rejected" true
+    (raises (fun () -> Cet_util.Leb128.read_u overlong 0));
+  check Alcotest.bool "signed overlong rejected" true
+    (raises (fun () -> Cet_util.Leb128.read_s overlong 0));
+  (* Boundary: the widest legal encodings still decode. *)
+  let b = Buffer.create 10 in
+  Cet_util.Leb128.write_u b max_int;
+  check Alcotest.int "max_int roundtrips" max_int
+    (fst (Cet_util.Leb128.read_u (Buffer.contents b) 0));
+  let b = Buffer.create 10 in
+  Cet_util.Leb128.write_s b min_int;
+  check Alcotest.int "min_int roundtrips" min_int
+    (fst (Cet_util.Leb128.read_s (Buffer.contents b) 0))
+
+(* ---- ELF header crafting helpers -------------------------------------- *)
+
+let sample_image ?(text = String.make 64 '\x90') () =
+  {
+    Image.arch = Arch.X64;
+    machine = None;
+    pie = true;
+    cet_note = true;
+    entry = 0x1010;
+    sections =
+      [
+        Image.section ~name:".text"
+          ~flags:(Cet_elf.Consts.shf_alloc lor Cet_elf.Consts.shf_execinstr)
+          ~addralign:16 ~vaddr:0x1000 text;
+        Image.section ~name:".rodata" ~vaddr:0x2000 "tables";
+      ];
+    symbols = [ Cet_elf.Symbol.func "main" 0x1010 ~size:16 ];
+    dynsyms = [];
+    plt_relocs = [];
+  }
+
+let u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+let u32 s off = u16 s off lor (u16 s (off + 2) lsl 16)
+let u64 s off = u32 s off lor (u32 s (off + 4) lsl 32)
+
+let patch_u64 bytes ~off v =
+  let b = Bytes.of_string bytes in
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done;
+  Bytes.to_string b
+
+(* 64-bit ELF header/shdr field offsets (the images here are ELFCLASS64). *)
+let shoff bytes = u64 bytes 0x28
+let shentsize bytes = u16 bytes 0x3a
+let shnum bytes = u16 bytes 0x3c
+
+(* ---- Reader bounds overflow (satellite fix) --------------------------- *)
+
+let test_reader_offset_overflow () =
+  (* sh_offset = 2^62 - 1: pre-fix the [off + size > len] bounds check
+     wrapped negative and accepted the section, and the payload extraction
+     blew up with an uncaught Invalid_argument.  The subtraction-form check
+     must reject it as Malformed (strict) / clamp it (lenient). *)
+  let good = Writer.write (sample_image ()) in
+  (* Entry 1 is the first real section; sh_offset lives at +0x18. *)
+  let entry1 = shoff good + shentsize good in
+  let evil = patch_u64 good ~off:(entry1 + 0x18) (0x3FFFFFFFFFFFFFFF) in
+  check Alcotest.bool "strict read rejects as Malformed" true
+    (try ignore (Reader.read evil) ; false with Reader.Malformed _ -> true);
+  match Reader.read_diag evil with
+  | Error d -> Alcotest.failf "lenient read refused a clampable image: %s" (Diag.to_string d)
+  | Ok (_, diags) -> check Alcotest.bool "section-clamp diag" true (has_code "section-clamp" diags)
+
+(* ---- Crash class: truncated section-header table ---------------------- *)
+
+let test_truncated_shdr_salvage () =
+  let good = Writer.write (sample_image ()) in
+  check Alcotest.bool "shdr table at end of file" true
+    (shoff good + (shentsize good * shnum good) = String.length good);
+  (* Keep the null entry, one complete entry, and half of the next. *)
+  let cut = String.sub good 0 (shoff good + (2 * shentsize good) + (shentsize good / 2)) in
+  check Alcotest.bool "strict read rejects truncation" true
+    (try ignore (Reader.read cut) ; false with Reader.Malformed _ -> true);
+  match Reader.read_diag cut with
+  | Error d -> Alcotest.failf "no salvage: %s" (Diag.to_string d)
+  | Ok (t, diags) ->
+    check Alcotest.bool "shdr-truncated diag" true (has_code "shdr-truncated" diags);
+    check Alcotest.bool "salvaged a prefix" true (List.length (Reader.sections t) >= 1)
+
+(* ---- Crash class: bad LSDA call-site encoding ------------------------- *)
+
+let cpp_binary () =
+  let profile =
+    {
+      (Cet_corpus.Profile.scaled 0.02 Cet_corpus.Profile.spec) with
+      Cet_corpus.Profile.lang_cpp_fraction = 1.0;
+    }
+  in
+  let ir = Cet_corpus.Generator.program ~seed:31 ~profile ~index:0 in
+  let res = Cet_compiler.Link.link Cet_compiler.Options.default ir in
+  Cet_elf.Writer.write ~strip:true res.Cet_compiler.Link.image
+
+(* Locate a section's payload in the file by content search (the writer
+   embeds it verbatim) and overwrite it. *)
+let overwrite_section bytes name ~fill =
+  let t = Reader.read bytes in
+  let s = Option.get (Reader.find_section t name) in
+  let n = String.length s.Reader.data in
+  check Alcotest.bool (name ^ " non-empty") true (n > 0);
+  let rec find i =
+    if i + n > String.length bytes then Alcotest.failf "%s payload not found" name
+    else if String.sub bytes i n = s.Reader.data then i
+    else find (i + 1)
+  in
+  let pos = find 0 in
+  let b = Bytes.of_string bytes in
+  Bytes.fill b pos n fill;
+  Bytes.to_string b
+
+let test_bad_lsda_encoding_degrades () =
+  (* 0xFF-filled .gcc_except_table: LPStart/TType decode as "omitted" but
+     the call-site encoding byte is invalid, the exact shape of the
+     fuzzer's LSDA crash class.  Pre-fix, FILTERENDBR died on an uncaught
+     Invalid_argument; the robust path must degrade with diagnostics. *)
+  let evil = overwrite_section (cpp_binary ()) ".gcc_except_table" ~fill:'\xff' in
+  match Core.Funseeker.analyze_bytes_diag evil with
+  | Error d -> Alcotest.failf "whole analysis refused: %s" (Diag.to_string d)
+  | Ok (r, diags) ->
+    check Alcotest.bool "functions still identified" true (r.Core.Funseeker.functions <> []);
+    check Alcotest.bool "lsda degradation reported" true
+      (has_code "lsda-skipped" diags || has_code "eh-frame" diags)
+
+let test_corrupt_eh_frame_salvage () =
+  (* Same contract for .eh_frame itself: the walk salvages the prefix. *)
+  let evil = overwrite_section (cpp_binary ()) ".eh_frame" ~fill:'\xee' in
+  match Core.Funseeker.analyze_bytes_diag evil with
+  | Error d -> Alcotest.failf "whole analysis refused: %s" (Diag.to_string d)
+  | Ok (r, diags) ->
+    check Alcotest.bool "functions still identified" true (r.Core.Funseeker.functions <> []);
+    check Alcotest.bool "eh-frame walk reported" true (has_code "eh-frame" diags)
+
+(* ---- Crash class: overlapping interval-table entries ------------------ *)
+
+let test_itable_lenient_overlap () =
+  (* Overlapping FDE extents from corrupt unwind info used to abort the
+     Ghidra-like baseline inside Itable.of_list: the lenient constructor
+     must keep the first interval of each overlapping run,
+     deterministically. *)
+  let module I = Cet_util.Itable in
+  check Alcotest.bool "of_list still strict" true
+    (try ignore (I.of_list [ (0, 10, "a"); (5, 15, "b") ]) ; false
+     with Invalid_argument _ -> true);
+  let value t x = Option.map (fun (_, _, v) -> v) (I.find t x) in
+  let t = I.of_list_lenient [ (5, 15, "b"); (0, 10, "a"); (20, 30, "c") ] in
+  check Alcotest.bool "first of run kept" true (value t 3 = Some "a");
+  check Alcotest.bool "overlapping later dropped" true (value t 12 = None);
+  check Alcotest.bool "disjoint kept" true (value t 25 = Some "c");
+  (* Determinism: input order must not matter for which interval survives
+     (stable sort on lo, first of each overlapping run wins). *)
+  let t2 = I.of_list_lenient [ (0, 10, "a"); (20, 30, "c"); (5, 15, "b") ] in
+  check Alcotest.bool "same survivors" true
+    (value t2 3 = Some "a" && value t2 12 = None && value t2 25 = Some "c")
+
+(* ---- Deadlines -------------------------------------------------------- *)
+
+let test_deadline_expires_sweep () =
+  let big = String.make 65536 '\x90' in
+  check Alcotest.bool "sweep aborts on expiry" true
+    (try
+       ignore (Deadline.with_ ~seconds:1e-9 (fun () -> Cet_disasm.Linear.sweep Arch.X64 big));
+       false
+     with Deadline.Expired _ -> true);
+  (* And the robust entry point converts the expiry into a diagnostic. *)
+  let bytes = Writer.write (sample_image ~text:big ()) in
+  match Core.Funseeker.analyze_bytes_diag ~max_seconds:1e-9 bytes with
+  | Error d -> Alcotest.failf "refused instead of degrading: %s" (Diag.to_string d)
+  | Ok (r, diags) ->
+    check Alcotest.bool "empty result" true (r = Core.Funseeker.empty_result);
+    check Alcotest.bool "timeout diag" true (has_code "timeout" diags)
+
+let test_deadline_nesting () =
+  check Alcotest.bool "invalid budget" true
+    (try ignore (Deadline.with_ ~seconds:0.0 (fun () -> ())) ; false
+     with Invalid_argument _ -> true);
+  (* An inner deadline can not extend the outer one. *)
+  check Alcotest.bool "inner bounded by outer" true
+    (try
+       Deadline.with_ ~seconds:1e-9 (fun () ->
+           Deadline.with_ ~seconds:3600.0 (fun () ->
+               Deadline.check "test";
+               false))
+     with Deadline.Expired _ -> true);
+  check Alcotest.bool "inactive after exit" false (Deadline.active ())
+
+(* ---- No .text --------------------------------------------------------- *)
+
+let test_no_text_degrades () =
+  (* No [.text] at all (symbols dropped too — the writer places them
+     relative to their sections): the robust path reports an empty
+     analysis instead of failing the binary. *)
+  let img = sample_image () in
+  let img =
+    {
+      img with
+      Image.sections =
+        List.filter (fun (s : Image.section) -> s.Image.name <> ".text") img.Image.sections;
+      symbols = [];
+    }
+  in
+  let bytes = Writer.write img in
+  match Core.Funseeker.analyze_bytes_diag bytes with
+  | Error d -> Alcotest.failf "refused instead of degrading: %s" (Diag.to_string d)
+  | Ok (r, diags) ->
+    check Alcotest.bool "empty result" true (r = Core.Funseeker.empty_result);
+    check Alcotest.bool "no-text diag" true (has_code "no-text" diags)
+
+(* ---- Fuzz engine ------------------------------------------------------ *)
+
+let test_fuzz_smoke_deterministic () =
+  let a = Cet_fuzz.Engine.run ~seed:5 ~count:40 () in
+  let b = Cet_fuzz.Engine.run ~seed:5 ~count:40 () in
+  check Alcotest.int "no crashes" 0 (List.length a.Cet_fuzz.Engine.crashes);
+  check Alcotest.string "summary deterministic" (Cet_fuzz.Engine.render a)
+    (Cet_fuzz.Engine.render b);
+  check Alcotest.int "all mutants accounted" a.Cet_fuzz.Engine.total
+    (a.Cet_fuzz.Engine.clean + a.Cet_fuzz.Engine.degraded + a.Cet_fuzz.Engine.rejected)
+
+(* ---- Fault-isolated harness ------------------------------------------- *)
+
+let micro_profile =
+  {
+    Cet_corpus.Profile.coreutils with
+    Cet_corpus.Profile.suite = "coreutils";
+    programs = 2;
+    funcs_lo = 30;
+    funcs_hi = 40;
+  }
+
+let fault_opts =
+  {
+    Harness.default_options with
+    Harness.seed = 99;
+    scale = 1.0;
+    timing = false;
+    fault =
+      Some (fun (b : Cet_corpus.Dataset.binary) -> b.Cet_corpus.Dataset.program = "coreutils_001");
+  }
+
+let test_harness_quarantine () =
+  let configs =
+    [
+      Cet_compiler.Options.default;
+      { Cet_compiler.Options.default with Cet_compiler.Options.arch = Arch.X86 };
+    ]
+  in
+  let r = Harness.run ~profiles:[ micro_profile ] ~configs ~jobs:1 fault_opts in
+  (* One of the two programs fails under both configs; the survivors'
+     tables are complete and the failures carry the retry count. *)
+  check Alcotest.int "quarantined" 2 (List.length r.Harness.failures);
+  check Alcotest.int "survivors" 2 r.Harness.binaries;
+  List.iter
+    (fun (f : Harness.failure) ->
+      check Alcotest.string "program" "coreutils_001" f.Harness.f_program;
+      check Alcotest.int "retried once" 2 f.Harness.f_attempts;
+      check Alcotest.bool "injected error recorded" true
+        (String.length f.Harness.f_error > 0))
+    r.Harness.failures;
+  (* Quarantine report: one JSON object per failure. *)
+  let buf = Buffer.create 256 in
+  let tmp = Filename.temp_file "quarantine" ".jsonl" in
+  let oc = open_out tmp in
+  Harness.write_quarantine oc r;
+  close_out oc;
+  let ic = open_in tmp in
+  (try
+     while true do
+       Buffer.add_string buf (input_line ic);
+       Buffer.add_char buf '\n'
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove tmp;
+  let lines = String.split_on_char '\n' (String.trim (Buffer.contents buf)) in
+  check Alcotest.int "jsonl lines" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      check Alcotest.bool "looks like json" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  check Alcotest.bool "render mentions program" true
+    (contains ~needle:"coreutils_001" (Harness.render_failures r))
+
+let test_harness_quarantine_parallel_identical () =
+  (* The surviving set's merged tables must stay byte-identical across
+     --jobs even when some binaries are quarantined mid-plan. *)
+  let seq = Harness.run ~profiles:[ micro_profile ] ~jobs:1 fault_opts in
+  let par = Harness.run ~profiles:[ micro_profile ] ~jobs:4 fault_opts in
+  check Alcotest.int "same survivors" seq.Harness.binaries par.Harness.binaries;
+  check Alcotest.int "same quarantine" (List.length seq.Harness.failures)
+    (List.length par.Harness.failures);
+  check Alcotest.string "byte-identical tables" (Harness.render_all seq)
+    (Harness.render_all par);
+  check Alcotest.string "same failure order" (Harness.render_failures seq)
+    (Harness.render_failures par)
+
+let test_harness_fail_fast () =
+  let opts = { fault_opts with Harness.keep_going = false } in
+  check Alcotest.bool "fail-fast re-raises" true
+    (try
+       ignore (Harness.run ~profiles:[ micro_profile ] ~jobs:1 opts);
+       false
+     with Failure msg -> contains ~needle:"injected fault" msg)
+
+let suite =
+  [
+    ( "robust",
+      [
+        Alcotest.test_case "leb128 overlong rejected" `Quick test_leb128_overlong;
+        Alcotest.test_case "reader offset overflow" `Quick test_reader_offset_overflow;
+        Alcotest.test_case "truncated shdr salvage" `Quick test_truncated_shdr_salvage;
+        Alcotest.test_case "bad LSDA encoding degrades" `Quick test_bad_lsda_encoding_degrades;
+        Alcotest.test_case "corrupt .eh_frame salvage" `Quick test_corrupt_eh_frame_salvage;
+        Alcotest.test_case "itable lenient overlap" `Quick test_itable_lenient_overlap;
+        Alcotest.test_case "deadline expires sweep" `Quick test_deadline_expires_sweep;
+        Alcotest.test_case "deadline nesting" `Quick test_deadline_nesting;
+        Alcotest.test_case "missing .text degrades" `Quick test_no_text_degrades;
+        Alcotest.test_case "fuzz smoke deterministic" `Slow test_fuzz_smoke_deterministic;
+        Alcotest.test_case "harness quarantine" `Quick test_harness_quarantine;
+        Alcotest.test_case "harness quarantine parallel" `Slow
+          test_harness_quarantine_parallel_identical;
+        Alcotest.test_case "harness fail-fast" `Quick test_harness_fail_fast;
+      ] );
+  ]

@@ -241,7 +241,7 @@ let stats_report ~jobs =
   Registry.reset ();
   let _ =
     Harness.run ~profiles:[ micro_profile ] ~configs:micro_configs ~jobs
-      { Harness.seed = 11; scale = 1.0; progress = false; timing = false }
+      { Harness.default_options with Harness.seed = 11; scale = 1.0; timing = false }
   in
   Report.render ~timing:false ()
 
