@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.  `make check` is the PR verify: build,
 # test, and smoke the multi-core evaluation path (--jobs 2).
-.PHONY: all test bench bench-json check fuzz
+.PHONY: all test bench bench-json bench-diff check fuzz
 
 all:
 	dune build
@@ -16,6 +16,13 @@ bench:
 N ?= 2
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_$(N).json
+
+# Perf gate between PRs: compare two BENCH_<n>.json files and fail on any
+# named test that regressed by more than 20%.
+OLD ?= BENCH_2.json
+NEW ?= BENCH_3.json
+bench-diff:
+	dune exec bin/bench_diff.exe -- $(OLD) $(NEW)
 
 check:
 	dune build @check

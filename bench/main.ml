@@ -30,7 +30,7 @@ let build_workload ~name ~profile ~index ~opts =
   {
     w_name = name;
     w_reader = Reader.read bytes;
-    w_truth = List.sort_uniq compare (List.map snd res.truth);
+    w_truth = List.sort_uniq Int.compare (List.map snd res.truth);
   }
 
 let coreutils_bin =
@@ -172,6 +172,30 @@ let bench_substrates =
              (Cet_corpus.Generator.program ~seed:7 ~profile:micro_corpus_profile ~index:0)));
   ]
 
+(* The substrate's raison d'être: one binary through FunSeeker and the
+   three Table III baselines, with each tool re-deriving every per-binary
+   fact (legacy entry points, one fresh substrate per call) vs all four
+   sharing one memoised substrate — the harness's per-binary unit. *)
+let bench_substrate_sharing =
+  let run_tools analyze_fs analyze_ida analyze_ghidra analyze_fetch x =
+    ignore (analyze_fs x : FS.result);
+    ignore (analyze_ida x : int list);
+    ignore (analyze_ghidra x : int list);
+    ignore (analyze_fetch x : int list)
+  in
+  [
+    Test.make ~name:"substrate/per-binary-legacy(spec)"
+      (stage (fun () ->
+           run_tools FS.analyze Cet_baselines.Ida_like.analyze
+             Cet_baselines.Ghidra_like.analyze Cet_baselines.Fetch.analyze
+             spec_bin.w_reader));
+    Test.make ~name:"substrate/per-binary-shared(spec)"
+      (stage (fun () ->
+           run_tools FS.analyze_st Cet_baselines.Ida_like.analyze_st
+             Cet_baselines.Ghidra_like.analyze_st Cet_baselines.Fetch.analyze_st
+             (Cet_disasm.Substrate.create spec_bin.w_reader)));
+  ]
+
 (* Corpus-level parallelism: the whole evaluation pipeline over a tiny
    corpus, sequential vs one domain per recommended core.  The ratio is
    the perf-trajectory number for the multi-core harness. *)
@@ -183,13 +207,18 @@ let bench_parallel_harness =
     [ { micro_corpus_profile with Cet_corpus.Profile.programs = 2 } ]
   in
   let jobs = Domain.recommended_domain_count () in
-  [
-    Test.make ~name:"substrate/parallel-harness(jobs=1)"
-      (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs:1 opts));
-    Test.make
-      ~name:(Printf.sprintf "substrate/parallel-harness(jobs=%d)" jobs)
-      (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs opts));
-  ]
+  Test.make ~name:"substrate/parallel-harness(jobs=1)"
+    (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs:1 opts))
+  ::
+  (* On a single-core host the multi-domain variant would duplicate the
+     jobs=1 test name (and its JSON row) verbatim, so it is skipped. *)
+  (if jobs <= 1 then []
+   else
+     [
+       Test.make
+         ~name:(Printf.sprintf "substrate/parallel-harness(jobs=%d)" jobs)
+         (stage (fun () -> Cet_eval.Harness.run ~profiles ~jobs opts));
+     ])
 
 (* Telemetry overhead: the same full-FunSeeker unit of work with the span
    registry disabled (the default, the < 2% guard rail) and enabled.
@@ -210,8 +239,8 @@ let bench_telemetry =
 
 let all_tests =
   [ bench_table1; bench_fig3 ] @ bench_table2 @ bench_table3 @ bench_ablations
-  @ bench_arm @ bench_consumers @ bench_substrates @ bench_parallel_harness
-  @ bench_telemetry
+  @ bench_arm @ bench_consumers @ bench_substrates @ bench_substrate_sharing
+  @ bench_parallel_harness @ bench_telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)

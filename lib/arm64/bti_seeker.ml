@@ -27,14 +27,14 @@ let analyze reader =
         | A64.K_jmp t when in_text t -> jmp_refs := (i.addr, t) :: !jmp_refs
         | _ -> ())
       insns;
-    let calls = List.sort_uniq compare !calls in
-    let candidates = List.sort_uniq compare (!bti_c @ calls) in
+    let calls = List.sort_uniq Int.compare !calls in
+    let candidates = List.sort_uniq Int.compare (!bti_c @ calls) in
     let selected =
       Core.Funseeker.select_tail_calls ~candidates ~jmp_refs:!jmp_refs
         ~call_refs:!call_refs ~text_end:limit
     in
     {
-      functions = List.sort_uniq compare (candidates @ selected);
+      functions = List.sort_uniq Int.compare (candidates @ selected);
       bti_c_total = List.length !bti_c;
       bti_j_total = !bti_j;
       call_target_count = List.length calls;

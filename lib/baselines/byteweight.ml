@@ -76,18 +76,24 @@ let score root code ~off =
    with Exit -> ());
   !best
 
-let classify_impl threshold root reader =
-  match Cet_elf.Reader.find_section reader ".text" with
+let classify_st_impl threshold root st =
+  match Cet_disasm.Substrate.text st with
   | None -> []
   | Some text ->
-    let sweep = Linear.sweep_text reader in
-    Array.to_list sweep.insns
-    |> List.filter_map (fun (i : Cet_x86.Decoder.ins) ->
-           if score root text.data ~off:(i.addr - text.vaddr) > threshold then Some i.addr
-           else None)
+    let sweep = Cet_disasm.Substrate.sweep st in
+    List.rev
+      (Array.fold_left
+         (fun acc (i : Cet_x86.Decoder.ins) ->
+           if score root text.data ~off:(i.addr - text.vaddr) > threshold then
+             i.addr :: acc
+           else acc)
+         [] sweep.insns)
 
-let classify ?(threshold = 0.5) root reader =
+let classify_st ?(threshold = 0.5) root st =
   if Cet_telemetry.Span.enabled () then
     Cet_telemetry.Span.with_ ~name:"baseline.byteweight" (fun () ->
-        classify_impl threshold root reader)
-  else classify_impl threshold root reader
+        classify_st_impl threshold root st)
+  else classify_st_impl threshold root st
+
+let classify ?(threshold = 0.5) root reader =
+  classify_st ~threshold root (Cet_disasm.Substrate.create reader)

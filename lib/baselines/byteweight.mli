@@ -23,6 +23,9 @@ val classify : ?threshold:float -> model -> Cet_elf.Reader.t -> int list
     matched prefix is function-start-weighted above [threshold]
     (default 0.5). *)
 
+val classify_st : ?threshold:float -> model -> Cet_disasm.Substrate.t -> int list
+(** {!classify} over a shared per-binary substrate. *)
+
 val score : model -> string -> off:int -> float
 (** Posterior that the byte sequence starting at [off] begins a function
     (0.5 when the tree has no evidence). *)

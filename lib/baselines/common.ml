@@ -15,31 +15,34 @@ let fde_starts reader =
     match Cet_eh.Eh_frame_hdr.decode ~vaddr:s.vaddr s.data with
     | entries ->
       List.map (fun (e : Cet_eh.Eh_frame_hdr.entry) -> e.initial_loc) entries
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     | exception Invalid_argument _ ->
       fde_frames reader
       |> List.map (fun (f : Cet_eh.Eh_frame.frame) -> f.pc_begin)
-      |> List.sort_uniq compare)
+      |> List.sort_uniq Int.compare)
   | None ->
     fde_frames reader
     |> List.map (fun (f : Cet_eh.Eh_frame.frame) -> f.pc_begin)
-    |> List.sort_uniq compare
+    |> List.sort_uniq Int.compare
+
+let compare_extent (a_lo, a_hi) (b_lo, b_hi) =
+  if a_lo <> b_lo then Int.compare a_lo b_lo else Int.compare a_hi b_hi
 
 let fde_extents reader =
   fde_frames reader
   |> List.map (fun (f : Cet_eh.Eh_frame.frame) -> (f.pc_begin, f.pc_begin + f.pc_range))
-  |> List.sort_uniq compare
+  |> List.sort_uniq compare_extent
 
-let insn_index (sweep : Linear.t) =
-  let tbl = Hashtbl.create (Array.length sweep.insns) in
-  Array.iter (fun (i : Decoder.ins) -> Hashtbl.replace tbl i.addr i) sweep.insns;
-  tbl
+type explored = { e_functions : int list; e_visited : Bytes.t }
 
-type explored = { e_functions : int list; e_visited : (int, unit) Hashtbl.t }
-
+(* Recursive descent over the sweep's instruction stream.  Instruction
+   lookup is a binary search into the sorted [insns] array and the visited
+   set is one byte per instruction — the traversal allocates nothing per
+   step, where it used to build an address→instruction hashtable as large
+   as the stream on every call. *)
 let explore (sweep : Linear.t) ~roots =
-  let index = insn_index sweep in
-  let visited = Hashtbl.create 4096 in
+  let insns = sweep.insns in
+  let visited = Bytes.make (Array.length insns) '\000' in
   let functions = Hashtbl.create 256 in
   let wl = Queue.create () in
   List.iter
@@ -51,30 +54,34 @@ let explore (sweep : Linear.t) ~roots =
     roots;
   while not (Queue.is_empty wl) do
     let a = Queue.pop wl in
-    if (not (Hashtbl.mem visited a)) && Hashtbl.mem index a then begin
-      Hashtbl.replace visited a ();
-      let ins = Hashtbl.find index a in
-      let fall () = Queue.add (a + ins.Decoder.len) wl in
-      match ins.kind with
-      | Decoder.Ret | Decoder.Halt -> ()
-      | Decoder.Jmp_direct t -> if Linear.in_range sweep t then Queue.add t wl
-      | Decoder.Jcc_direct t ->
-        if Linear.in_range sweep t then Queue.add t wl;
-        fall ()
-      | Decoder.Call_direct t ->
-        if Linear.in_range sweep t && not (Hashtbl.mem functions t) then begin
-          Hashtbl.replace functions t ();
-          Queue.add t wl
-        end;
-        fall ()
-      | Decoder.Jmp_indirect _ -> ()
-      | Decoder.Call_indirect _ | Decoder.Endbr64 | Decoder.Endbr32 | Decoder.Addr_ref _
-      | Decoder.Other ->
-        fall ()
-    end
+    match Linear.index_of sweep a with
+    | None -> ()
+    | Some k ->
+      if Bytes.get visited k = '\000' then begin
+        Bytes.set visited k '\001';
+        let ins = insns.(k) in
+        let fall () = Queue.add (a + ins.Decoder.len) wl in
+        match ins.kind with
+        | Decoder.Ret | Decoder.Halt -> ()
+        | Decoder.Jmp_direct t -> if Linear.in_range sweep t then Queue.add t wl
+        | Decoder.Jcc_direct t ->
+          if Linear.in_range sweep t then Queue.add t wl;
+          fall ()
+        | Decoder.Call_direct t ->
+          if Linear.in_range sweep t && not (Hashtbl.mem functions t) then begin
+            Hashtbl.replace functions t ();
+            Queue.add t wl
+          end;
+          fall ()
+        | Decoder.Jmp_indirect _ -> ()
+        | Decoder.Call_indirect _ | Decoder.Endbr64 | Decoder.Endbr32 | Decoder.Addr_ref _
+        | Decoder.Other ->
+          fall ()
+      end
   done;
   {
-    e_functions = Hashtbl.fold (fun k () acc -> k :: acc) functions [] |> List.sort compare;
+    e_functions =
+      Hashtbl.fold (fun k () acc -> k :: acc) functions [] |> List.sort Int.compare;
     e_visited = visited;
   }
 
@@ -84,11 +91,10 @@ let byte (sweep : Linear.t) off =
   if off < 0 || off >= sweep.size then -1 else Char.code sweep.code.[off]
 
 let entry_main_root (sweep : Linear.t) ~entry =
-  let index = insn_index sweep in
   let rec scan addr budget =
     if budget = 0 then None
     else
-      match Hashtbl.find_opt index addr with
+      match Linear.insn_at sweep addr with
       | None -> None
       | Some ins -> (
         match ins.Decoder.kind with
@@ -136,14 +142,14 @@ let prologue_scan (sweep : Linear.t) ~known ~aggressive ?visited ?(suppress = []
     Cet_util.Itable.of_list_lenient (List.map (fun (lo, hi) -> (lo, hi, ())) suppress)
   in
   let hits = ref [] in
-  Array.iter
-    (fun (i : Decoder.ins) ->
+  Array.iteri
+    (fun idx (i : Decoder.ins) ->
       let a = i.Decoder.addr in
       let off = a - sweep.base in
       if
         (not (Hashtbl.mem known_set a))
         && (not (Cet_util.Itable.mem suppress a))
-        && (match visited with Some v -> not (Hashtbl.mem v a) | None -> true)
+        && (match visited with Some v -> Bytes.get v idx = '\000' | None -> true)
         && prologue_at sweep off ~aggressive
       then begin
         let after_endbr = endbr_before sweep off in
@@ -158,7 +164,7 @@ let prologue_scan (sweep : Linear.t) ~known ~aggressive ?visited ?(suppress = []
         then hits := a :: !hits
       end)
     sweep.insns;
-  List.sort_uniq compare !hits
+  List.sort_uniq Int.compare !hits
 
 (* Byte-level stack-delta of the instruction at [off]; [None] resets the
    height (frame release via leave). *)
@@ -176,44 +182,36 @@ let stack_delta (sweep : Linear.t) off =
   else if b0 = 0xC9 then None (* leave *)
   else Some 0
 
-(* Index of the first instruction at or after [addr]. *)
-let first_insn_index (sweep : Linear.t) addr =
-  let insns = sweep.insns in
-  let lo = ref 0 and hi = ref (Array.length insns) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if insns.(mid).Decoder.addr < addr then lo := mid + 1 else hi := mid
-  done;
-  !lo
-
 let stack_height_tail_targets (sweep : Linear.t) ~extents ~passes =
+  let insns = sweep.insns in
+  let n = Array.length insns in
   let targets = ref [] in
   List.iter
     (fun (lo, hi) ->
       (* The repeated passes mirror FETCH's fixed-point refinement: each
-         pass re-disassembles the function to rebuild its CFG, which is
-         where the tool's runtime goes (§V-D). *)
+         pass rebuilds the function's stack-height profile, which is where
+         the tool's runtime goes (§V-D).  The instruction stream itself
+         comes from the shared sweep — one decode however many passes —
+         so a pass is pure table-walking over the cached array. *)
+      let start = Linear.first_index_at sweep lo in
       for pass = 1 to passes do
         let height = ref 0 in
-        let off = ref (lo - sweep.base) in
-        let stop = hi - sweep.base in
-        while !off < stop do
-          match Decoder.decode sweep.arch sweep.code ~base:sweep.base ~off:!off with
-          | Error _ -> incr off
-          | Ok i ->
-            (match stack_delta sweep !off with
-            | None -> height := 0
-            | Some d -> height := !height + d);
-            (match i.Decoder.kind with
-            | Decoder.Jmp_direct t
-              when (t < lo || t >= hi) && Linear.in_range sweep t && !height <= 0 ->
-              if pass = passes then targets := t :: !targets
-            | _ -> ());
-            off := !off + i.Decoder.len
+        let k = ref start in
+        while !k < n && insns.(!k).Decoder.addr < hi do
+          let i = insns.(!k) in
+          (match stack_delta sweep (i.Decoder.addr - sweep.base) with
+          | None -> height := 0
+          | Some d -> height := !height + d);
+          (match i.Decoder.kind with
+          | Decoder.Jmp_direct t
+            when (t < lo || t >= hi) && Linear.in_range sweep t && !height <= 0 ->
+            if pass = passes then targets := t :: !targets
+          | _ -> ());
+          incr k
         done
       done)
     extents;
-  List.sort_uniq compare !targets
+  List.sort_uniq Int.compare !targets
 
 let calling_convention_scan (sweep : Linear.t) ~extents ~passes =
   (* Per-extent register def/use histogram, recomputed [passes] times the
@@ -222,9 +220,10 @@ let calling_convention_scan (sweep : Linear.t) ~extents ~passes =
   List.iter
     (fun (lo, hi) ->
       let ok = ref false in
+      let start = Linear.first_index_at sweep lo in
       for _pass = 1 to passes do
         let defs = Array.make 16 0 in
-        let k = ref (first_insn_index sweep lo) in
+        let k = ref start in
         let n = Array.length sweep.insns in
         while !k < n && sweep.insns.(!k).Decoder.addr < hi do
           let i = sweep.insns.(!k) in

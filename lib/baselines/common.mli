@@ -21,7 +21,9 @@ val fde_extents : Cet_elf.Reader.t -> (int * int) list
 
 type explored = {
   e_functions : int list;  (** roots plus direct-call targets, sorted *)
-  e_visited : (int, unit) Hashtbl.t;  (** every instruction address walked *)
+  e_visited : Bytes.t;
+      (** one byte per sweep instruction (by index into [insns]): ['\001']
+          when the traversal walked it *)
 }
 
 val explore : Cet_disasm.Linear.t -> roots:int list -> explored
@@ -43,7 +45,7 @@ val prologue_scan :
   Cet_disasm.Linear.t ->
   known:int list ->
   aggressive:bool ->
-  ?visited:(int, unit) Hashtbl.t ->
+  ?visited:Bytes.t ->
   ?suppress:(int * int) list ->
   unit ->
   int list
@@ -68,6 +70,3 @@ val calling_convention_scan :
     of extents whose profile looks like a well-formed function (all of
     them, for compiler-generated code) — the value matters less than the
     work. *)
-
-val insn_index : Cet_disasm.Linear.t -> (int, Cet_x86.Decoder.ins) Hashtbl.t
-(** Address → instruction table for a sweep. *)

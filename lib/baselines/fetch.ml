@@ -1,15 +1,15 @@
-module Linear = Cet_disasm.Linear
+module Substrate = Cet_disasm.Substrate
 
-let analyze_impl passes reader =
-  let starts = Common.fde_starts reader in
-  match Cet_elf.Reader.find_section reader ".text" with
+let analyze_st_impl passes st =
+  let starts = Substrate.fde_starts st in
+  match Substrate.text st with
   | None -> starts
   | Some text ->
     let text_end = text.vaddr + text.size in
     let starts = List.filter (fun a -> a >= text.vaddr && a < text_end) starts in
     if starts = [] then []
     else begin
-      let sweep = Linear.sweep_text reader in
+      let sweep = Substrate.sweep st in
       (* Extents from consecutive FDE starts (FDEs carry pc_range, but the
          derived extent matches and keeps the pass uniform). *)
       let arr = Array.of_list starts in
@@ -28,10 +28,12 @@ let analyze_impl passes reader =
       let tail_targets = Common.stack_height_tail_targets sweep ~extents ~passes in
       let verified = Common.calling_convention_scan sweep ~extents ~passes:(passes * 2) in
       ignore verified;
-      List.sort_uniq compare (starts @ tail_targets)
+      List.sort_uniq Int.compare (starts @ tail_targets)
     end
 
-let analyze ?(passes = 22) reader =
+let analyze_st ?(passes = 22) st =
   if Cet_telemetry.Span.enabled () then
-    Cet_telemetry.Span.with_ ~name:"baseline.fetch" (fun () -> analyze_impl passes reader)
-  else analyze_impl passes reader
+    Cet_telemetry.Span.with_ ~name:"baseline.fetch" (fun () -> analyze_st_impl passes st)
+  else analyze_st_impl passes st
+
+let analyze ?(passes = 22) reader = analyze_st ~passes (Substrate.create reader)

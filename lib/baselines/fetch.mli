@@ -11,3 +11,8 @@
 val analyze : ?passes:int -> Cet_elf.Reader.t -> int list
 (** Identified function entries, sorted.  [passes] (default 22) controls the
     refinement iterations. *)
+
+val analyze_st : ?passes:int -> Cet_disasm.Substrate.t -> int list
+(** {!analyze} over a shared per-binary substrate (sweep and FDE starts
+    reused across tools; the refinement passes walk the cached instruction
+    stream instead of re-disassembling each extent). *)

@@ -1,14 +1,17 @@
-module Linear = Cet_disasm.Linear
+module Substrate = Cet_disasm.Substrate
 module Arch = Cet_x86.Arch
 
-let analyze_impl reader =
-  match Cet_elf.Reader.find_section reader ".text" with
+let analyze_st_impl st =
+  match Substrate.text st with
   | None -> []
   | Some text ->
-    let sweep = Linear.sweep_text reader in
+    let reader = Substrate.reader st in
+    let sweep = Substrate.sweep st in
     let text_end = text.vaddr + text.size in
     let in_text a = a >= text.vaddr && a < text_end in
-    let fde_extents = List.filter (fun (lo, _) -> in_text lo) (Common.fde_extents reader) in
+    let fde_extents =
+      List.filter (fun (lo, _) -> in_text lo) (Substrate.fde_extents st)
+    in
     let fdes = List.map fst fde_extents in
     let entry = Cet_elf.Reader.entry reader in
     let roots =
@@ -16,7 +19,7 @@ let analyze_impl reader =
       @ fdes
     in
     let ex = Common.explore sweep ~roots in
-    let known = List.sort_uniq compare (roots @ ex.Common.e_functions) in
+    let known = List.sort_uniq Int.compare (roots @ ex.Common.e_functions) in
     (* Ghidra's x86 pattern library is broader and fires more readily — the
        paper measures the resulting precision loss on x86.  Hits inside an
        FDE-delimited function body are suppressed (Ghidra trusts recorded
@@ -29,10 +32,12 @@ let analyze_impl reader =
         ~suppress:fde_extents ()
     in
     let ex2 = Common.explore sweep ~roots:(pattern_hits @ known) in
-    List.sort_uniq compare (known @ pattern_hits @ ex2.Common.e_functions)
+    List.sort_uniq Int.compare (known @ pattern_hits @ ex2.Common.e_functions)
     |> List.filter in_text
 
-let analyze reader =
+let analyze_st st =
   if Cet_telemetry.Span.enabled () then
-    Cet_telemetry.Span.with_ ~name:"baseline.ghidra" (fun () -> analyze_impl reader)
-  else analyze_impl reader
+    Cet_telemetry.Span.with_ ~name:"baseline.ghidra" (fun () -> analyze_st_impl st)
+  else analyze_st_impl st
+
+let analyze reader = analyze_st (Substrate.create reader)

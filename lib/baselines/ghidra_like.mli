@@ -9,3 +9,8 @@
     extra false positives there. *)
 
 val analyze : Cet_elf.Reader.t -> int list
+(** Identified function entries, sorted. *)
+
+val analyze_st : Cet_disasm.Substrate.t -> int list
+(** {!analyze} over a shared per-binary substrate (sweep, FDE extents and
+    index arrays reused across tools). *)

@@ -9,3 +9,8 @@
     markers as entry hints. *)
 
 val analyze : Cet_elf.Reader.t -> int list
+(** Identified function entries, sorted. *)
+
+val analyze_st : Cet_disasm.Substrate.t -> int list
+(** {!analyze} over a shared per-binary substrate (sweep and index arrays
+    reused across tools). *)

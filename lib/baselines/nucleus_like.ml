@@ -1,4 +1,5 @@
 module Linear = Cet_disasm.Linear
+module Substrate = Cet_disasm.Substrate
 module Decoder = Cet_x86.Decoder
 
 (* Union-find over block indices. *)
@@ -19,12 +20,13 @@ let union parent a b =
   let ra = find parent a and rb = find parent b in
   if ra <> rb then parent.(ra) <- rb
 
-let analyze_impl reader =
-  match Cet_elf.Reader.find_section reader ".text" with
+let analyze_st_impl st =
+  match Substrate.text st with
   | None -> []
   | Some text ->
+    let reader = Substrate.reader st in
     let arch = Cet_elf.Reader.arch reader in
-    let sweep = Linear.sweep_text reader in
+    let sweep = Substrate.sweep st in
     let text_end = text.vaddr + text.size in
     let in_text a = a >= text.vaddr && a < text_end in
     (* Leaders: text start, branch/call targets, and successors of
@@ -53,7 +55,9 @@ let analyze_impl reader =
           if in_text next then Hashtbl.replace leaders next ()
         | _ -> ())
       sweep.insns;
-    let block_starts = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders []) in
+    let block_starts =
+      List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders [])
+    in
     let starts = Array.of_list block_starts in
     let nblocks = Array.length starts in
     let block_of addr =
@@ -154,9 +158,11 @@ let analyze_impl reader =
         if a < text_end then entries := a :: !entries
       end
     done;
-    List.sort_uniq compare !entries
+    List.sort_uniq Int.compare !entries
 
-let analyze reader =
+let analyze_st st =
   if Cet_telemetry.Span.enabled () then
-    Cet_telemetry.Span.with_ ~name:"baseline.nucleus" (fun () -> analyze_impl reader)
-  else analyze_impl reader
+    Cet_telemetry.Span.with_ ~name:"baseline.nucleus" (fun () -> analyze_st_impl st)
+  else analyze_st_impl st
+
+let analyze reader = analyze_st (Substrate.create reader)

@@ -11,3 +11,6 @@
 
 val analyze : Cet_elf.Reader.t -> int list
 (** Identified function entries, sorted. *)
+
+val analyze_st : Cet_disasm.Substrate.t -> int list
+(** {!analyze} over a shared per-binary substrate. *)

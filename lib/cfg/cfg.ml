@@ -60,7 +60,7 @@ let recover_function sweep ~entry ~stop =
       | _ -> ())
     insns;
   let starts =
-    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders [])
+    List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders [])
   in
   (* Build blocks by walking instructions, closing at the next leader. *)
   let next_leader_after a =
@@ -117,15 +117,15 @@ let recover_function sweep ~entry ~stop =
     f_stop = stop;
     f_blocks = List.rev !blocks;
     f_edges = List.sort_uniq compare !edges;
-    f_calls = List.sort_uniq compare !calls;
+    f_calls = List.sort_uniq Int.compare !calls;
   }
 
-let recover ?entries reader =
-  let sweep = Linear.sweep_text reader in
+let recover_st ?entries st =
+  let sweep = Cet_disasm.Substrate.sweep st in
   let entries =
     match entries with
-    | Some e -> List.sort_uniq compare e
-    | None -> (Core.Funseeker.analyze reader).Core.Funseeker.functions
+    | Some e -> List.sort_uniq Int.compare e
+    | None -> (Core.Funseeker.analyze_st st).Core.Funseeker.functions
   in
   let text_end = sweep.base + sweep.size in
   let arr = Array.of_list entries in
@@ -135,6 +135,8 @@ let recover ?entries reader =
          let stop = if i + 1 < Array.length arr then arr.(i + 1) else text_end in
          recover_function sweep ~entry ~stop)
        arr)
+
+let recover ?entries reader = recover_st ?entries (Cet_disasm.Substrate.create reader)
 
 let call_graph funcs =
   let entries = Hashtbl.create (List.length funcs) in
@@ -157,7 +159,7 @@ let reachable_from funcs start =
     end
   in
   go start;
-  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 
 let to_dot f =
   let buf = Buffer.create 512 in

@@ -36,6 +36,11 @@ val recover : ?entries:int list -> Cet_elf.Reader.t -> func list
     (configuration ④) on the binary.  Raises [Invalid_argument] when the
     image has no [.text]. *)
 
+val recover_st : ?entries:int list -> Cet_disasm.Substrate.t -> func list
+(** {!recover} over a shared per-binary substrate — the sweep (and, when
+    [entries] is omitted, FunSeeker's whole analysis) is reused rather than
+    recomputed. *)
+
 val call_graph : func list -> (int * int list) list
 (** [entry → distinct callees] for every recovered function, callees
     restricted to recovered entries. *)

@@ -1,4 +1,5 @@
 module Linear = Cet_disasm.Linear
+module Substrate = Cet_disasm.Substrate
 module Decoder = Cet_x86.Decoder
 
 type violation = { v_target : int; v_reason : reason }
@@ -18,14 +19,12 @@ let reason_to_string = function
   | Landing_pad -> "exception landing pad"
   | Plt_entry -> "PLT entry"
 
-let audit reader =
-  let sweep = Linear.sweep_text reader in
-  let insn_starts = Hashtbl.create 4096 in
-  Array.iter
-    (fun (i : Decoder.ins) -> Hashtbl.replace insn_starts i.addr ())
-    sweep.insns;
-  let endbr_text = Hashtbl.create 256 in
-  List.iter (fun a -> Hashtbl.replace endbr_text a ()) (Linear.endbr_addrs sweep);
+let audit_st st =
+  let reader = Substrate.reader st in
+  let sweep = Substrate.sweep st in
+  let ix = Substrate.indexes st in
+  let insn_start a = Linear.index_of sweep a <> None in
+  let endbrs = ix.Substrate.endbrs in
   (* PLT entries carry their own end-branches (checked against raw bytes:
      the PLT is outside .text). *)
   let plt = Parse.plt reader in
@@ -51,13 +50,13 @@ let audit reader =
   Array.iter
     (fun (i : Decoder.ins) ->
       match i.kind with
-      | Decoder.Addr_ref t when Linear.in_range sweep t && Hashtbl.mem insn_starts t ->
+      | Decoder.Addr_ref t when Linear.in_range sweep t && insn_start t ->
         add_candidate t Address_taken
       | _ -> ())
     sweep.insns;
   (* 2. Landing pads: the unwinder enters them indirectly.  (Jump tables in
      .rodata are exempt: compilers dispatch switches with NOTRACK.) *)
-  List.iter (fun lp -> add_candidate lp Landing_pad) (Parse.landing_pads reader);
+  Array.iter (fun lp -> add_candidate lp Landing_pad) (Substrate.landing_pads st);
   (* 3. Code pointers in writable data (callback tables). *)
   (match Cet_elf.Reader.find_section reader ".data" with
   | None -> ()
@@ -68,8 +67,7 @@ let audit reader =
       for b = ptr - 1 downto 0 do
         v := (!v lsl 8) lor Char.code d.data.[(w * ptr) + b]
       done;
-      if Linear.in_range sweep !v && Hashtbl.mem insn_starts !v then
-        add_candidate !v Data_pointer
+      if Linear.in_range sweep !v && insn_start !v then add_candidate !v Data_pointer
     done);
   (* 4. PLT entries (targets of GOT-mediated jumps). *)
   List.iter (fun (addr, _name) -> add_candidate addr Plt_entry) plt.Parse.entries;
@@ -81,7 +79,7 @@ let audit reader =
       let ok =
         match reason with
         | Plt_entry -> plt_entry_marked target
-        | _ -> Hashtbl.mem endbr_text target
+        | _ -> Linear.mem_sorted endbrs target
       in
       if ok then incr marked
       else violations := { v_target = target; v_reason = reason } :: !violations)
@@ -91,24 +89,26 @@ let audit reader =
      over-marking (the paper's §III-B observation, and extra attack
      surface from the defender's perspective). *)
   let ir_returns = Hashtbl.create 8 in
-  List.iter
-    (fun (_site, ret, target) ->
+  Array.iteri
+    (fun k target ->
       if Parse.in_plt plt target then
         match Parse.plt_name plt target with
         | Some name when List.mem name Parse.indirect_return_imports ->
-          Hashtbl.replace ir_returns ret ()
+          Hashtbl.replace ir_returns ix.Substrate.call_rets.(k) ()
         | _ -> ())
-    (Linear.call_sites sweep);
+    ix.Substrate.call_tgts;
   let superfluous =
-    Hashtbl.fold
-      (fun e () acc ->
+    Array.fold_left
+      (fun acc e ->
         if Hashtbl.mem candidates e || Hashtbl.mem ir_returns e then acc else acc + 1)
-      endbr_text 0
+      0 endbrs
   in
   {
     violations =
-      List.sort (fun a b -> compare a.v_target b.v_target) !violations;
+      List.sort (fun a b -> Int.compare a.v_target b.v_target) !violations;
     checked = Hashtbl.length candidates;
     marked = !marked;
     superfluous;
   }
+
+let audit reader = audit_st (Substrate.create reader)

@@ -30,4 +30,8 @@ type report = {
 val audit : Cet_elf.Reader.t -> report
 (** Raises [Invalid_argument] when the image has no [.text]. *)
 
+val audit_st : Cet_disasm.Substrate.t -> report
+(** {!audit} over a shared per-binary substrate (sweep, index arrays and
+    landing pads reused across consumers). *)
+
 val reason_to_string : reason -> string

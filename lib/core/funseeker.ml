@@ -1,4 +1,5 @@
 module Linear = Cet_disasm.Linear
+module Substrate = Cet_disasm.Substrate
 module Span = Cet_telemetry.Span
 
 type config = {
@@ -55,7 +56,7 @@ let owner_extent starts text_end addr =
 
 let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
   let starts = Array.of_list candidates in
-  Array.sort compare starts;
+  Array.sort Int.compare starts;
   let owner addr = owner_extent starts text_end addr in
   (* target -> function starts that reference it (by call or jump) *)
   let refs : (int, int list) Hashtbl.t = Hashtbl.create 256 in
@@ -81,112 +82,108 @@ let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
         in
         if beyond && outside_refs then Some target else None)
     jmp_refs
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare
 
 (* FILTERENDBR proper: drop end-branches after indirect-return call sites
-   and at exception landing pads.  Split out of [analyze_sweep] so the
+   and at exception landing pads.  Split out of the analysis core so the
    phase can carry its own telemetry span (which also covers the PLT and
-   LSDA parsing the filter needs, matching the paper's phase accounting). *)
-let filter_endbr ?diag reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp =
-      (* Drop end-branches that are return targets of indirect-return
-         imports (setjmp & co.), identified through the PLT.  On the robust
-         path ([diag] present) a corrupt relocation table degrades to "no
-         indirect-return filtering" instead of aborting the analysis. *)
-      let plt_map =
-        match diag with
-        | None -> Parse.plt reader
-        | Some diag -> (
-          try Parse.plt reader
-          with e ->
-            Cet_util.Diag.Collector.addf diag ~domain:"core" ~code:"plt"
-              "PLT map unavailable, indirect-return filtering disabled: %s"
-              (Printexc.to_string e);
-            { Parse.plt_lo = 0; plt_hi = 0; entries = [] })
-      in
-      let ir_returns = Hashtbl.create 8 in
-      List.iter
-        (fun (_site, ret, target) ->
-          if Parse.in_plt plt_map target then
-            match Parse.plt_name plt_map target with
-            | Some name when List.mem name Parse.indirect_return_imports ->
-              Hashtbl.replace ir_returns ret ()
-            | _ -> ())
-        call_sites;
-      (* Drop end-branches heading exception landing pads. *)
-      let lps =
-        match diag with
-        | None -> Parse.landing_pads reader
-        | Some diag -> Parse.landing_pads_diag ~diag reader
-      in
-      let lp_set = Hashtbl.create 64 in
-      List.iter (fun a -> Hashtbl.replace lp_set a ()) lps;
-      List.filter
-        (fun e ->
-          if Hashtbl.mem ir_returns e then begin
-            incr filtered_ir;
-            false
-          end
-          else if Hashtbl.mem lp_set e then begin
-            incr filtered_lp;
-            false
-          end
-          else true)
-        endbrs
-
-(* Candidate harvesting: end-branch addresses, direct-call targets, and
-   direct-jump targets out of the shared sweep (the E, C, J sets). *)
-let collect_candidates (sweep : Linear.t) =
-  let endbrs = Linear.endbr_addrs sweep in
-  let call_sites = Linear.call_sites sweep in
-  let calls =
-    List.filter_map
-      (fun (_, _, target) -> if Linear.in_range sweep target then Some target else None)
-      call_sites
-    |> List.sort_uniq compare
+   LSDA parsing the filter needs, matching the paper's phase accounting).
+   The landing-pad set comes from the substrate's memoised decode when one
+   is available; the robust path ([diag] present) always parses fresh via
+   [Parse.landing_pads_diag] so its degradation semantics are unchanged. *)
+let filter_endbr ?diag ?st reader ~(ix : Substrate.indexes) ~filtered_ir ~filtered_lp =
+  (* Drop end-branches that are return targets of indirect-return
+     imports (setjmp & co.), identified through the PLT.  On the robust
+     path ([diag] present) a corrupt relocation table degrades to "no
+     indirect-return filtering" instead of aborting the analysis. *)
+  let plt_map =
+    match diag with
+    | None -> Parse.plt reader
+    | Some diag -> (
+      try Parse.plt reader
+      with e ->
+        Cet_util.Diag.Collector.addf diag ~domain:"core" ~code:"plt"
+          "PLT map unavailable, indirect-return filtering disabled: %s"
+          (Printexc.to_string e);
+        { Parse.plt_lo = 0; plt_hi = 0; entries = [] })
   in
-  (endbrs, call_sites, calls, Linear.jmp_targets sweep)
+  let ir_returns = Hashtbl.create 8 in
+  Array.iteri
+    (fun k target ->
+      if Parse.in_plt plt_map target then
+        match Parse.plt_name plt_map target with
+        | Some name when List.mem name Parse.indirect_return_imports ->
+          Hashtbl.replace ir_returns ix.Substrate.call_rets.(k) ()
+        | _ -> ())
+    ix.Substrate.call_tgts;
+  (* Drop end-branches heading exception landing pads. *)
+  let pads =
+    match (st, diag) with
+    | Some st, None -> Substrate.landing_pads st
+    | _, Some diag -> Array.of_list (Parse.landing_pads_diag ~diag reader)
+    | None, None -> Array.of_list (Parse.landing_pads reader)
+  in
+  let endbrs = ix.Substrate.endbrs in
+  let keep = Array.make (Array.length endbrs) 0 in
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      if Hashtbl.mem ir_returns e then incr filtered_ir
+      else if Linear.mem_sorted pads e then incr filtered_lp
+      else begin
+        keep.(!n) <- e;
+        incr n
+      end)
+    endbrs;
+  Array.sub keep 0 !n
 
 (* SELECTTAILCALL over the jump set, returning the selected count too. *)
-let select_phase (sweep : Linear.t) ~call_sites ~base_candidates =
-  let jmp_refs = Linear.jmp_refs sweep in
-  let call_refs =
-    List.filter_map
-      (fun (site, _, target) ->
-        if Linear.in_range sweep target then Some (site, target) else None)
-      call_sites
+let select_phase (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candidates =
+  let jmp_refs =
+    List.init (Array.length ix.Substrate.jmp_sites) (fun k ->
+        (ix.Substrate.jmp_sites.(k), ix.Substrate.jmp_tgts.(k)))
   in
+  let call_refs = ref [] in
+  for k = Array.length ix.Substrate.call_sites - 1 downto 0 do
+    let target = ix.Substrate.call_tgts.(k) in
+    if Linear.in_range sweep target then
+      call_refs := (ix.Substrate.call_sites.(k), target) :: !call_refs
+  done;
   let selected =
-    select_tail_calls ~candidates:base_candidates ~jmp_refs ~call_refs
+    select_tail_calls
+      ~candidates:(Array.to_list base_candidates)
+      ~jmp_refs ~call_refs:!call_refs
       ~text_end:(sweep.base + sweep.size)
   in
-  (List.sort_uniq compare (base_candidates @ selected), List.length selected)
+  ( Linear.merge_sorted_dedup base_candidates (Array.of_list selected),
+    List.length selected )
 
-let analyze_sweep_impl ?diag config reader (sweep : Linear.t) =
-  let endbrs, call_sites, calls, jmps =
-    if Span.enabled () then
-      Span.with_ ~name:"funseeker.collect" (fun () -> collect_candidates sweep)
-    else collect_candidates sweep
-  in
+(* The analysis core over a sweep plus its (possibly memoised) index
+   arrays.  Everything here is set algebra on sorted int arrays; the only
+   per-call allocations are the merged candidate arrays themselves. *)
+let analyze_ix_impl ?diag ?st config reader (sweep : Linear.t) (ix : Substrate.indexes) =
   let filtered_ir = ref 0 and filtered_lp = ref 0 in
   let endbrs' =
-    if not config.filter_endbr then endbrs
+    if not config.filter_endbr then ix.Substrate.endbrs
     else if Span.enabled () then
       Span.with_ ~name:"funseeker.filter_endbr" (fun () ->
-          filter_endbr ?diag reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp)
-    else filter_endbr ?diag reader ~call_sites ~endbrs ~filtered_ir ~filtered_lp
+          filter_endbr ?diag ?st reader ~ix ~filtered_ir ~filtered_lp)
+    else filter_endbr ?diag ?st reader ~ix ~filtered_ir ~filtered_lp
   in
-  let base_candidates = List.sort_uniq compare (endbrs' @ calls) in
+  (* [endbrs'] is in address order, hence sorted: a linear merge with the
+     sorted call-target set replaces the old sort_uniq over a concat. *)
+  let base_candidates = Linear.merge_sorted_dedup endbrs' ix.Substrate.call_targets in
   let tail_selected = ref 0 in
   let functions =
     if not config.include_jump_targets then base_candidates
     else if not config.select_tail_calls then
-      List.sort_uniq compare (base_candidates @ jmps)
+      Linear.merge_sorted_dedup base_candidates ix.Substrate.jmp_targets
     else begin
       let fns, n =
         if Span.enabled () then
           Span.with_ ~name:"funseeker.select_tailcall" (fun () ->
-              select_phase sweep ~call_sites ~base_candidates)
-        else select_phase sweep ~call_sites ~base_candidates
+              select_phase sweep ~ix ~base_candidates)
+        else select_phase sweep ~ix ~base_candidates
       in
       tail_selected := n;
       fns
@@ -194,12 +191,12 @@ let analyze_sweep_impl ?diag config reader (sweep : Linear.t) =
   in
   let r =
     {
-      functions;
-      endbr_total = List.length endbrs;
+      functions = Array.to_list functions;
+      endbr_total = Array.length ix.Substrate.endbrs;
       filtered_indirect_return = !filtered_ir;
       filtered_landing_pads = !filtered_lp;
-      call_target_count = List.length calls;
-      jump_target_count = List.length jmps;
+      call_target_count = Array.length ix.Substrate.call_targets;
+      jump_target_count = Array.length ix.Substrate.jmp_targets;
       tail_calls_selected = !tail_selected;
       resync_errors = sweep.resync_errors;
     }
@@ -216,22 +213,39 @@ let analyze_sweep_impl ?diag config reader (sweep : Linear.t) =
   end;
   r
 
+(* Candidate harvesting (the E, C, J sets) for a sweep that arrives
+   without a substrate: one single-pass index build, under the same span
+   the old list-based collector carried. *)
+let collect_indexes sweep =
+  if Span.enabled () then
+    Span.with_ ~name:"funseeker.collect" (fun () -> Substrate.indexes_of_sweep sweep)
+  else Substrate.indexes_of_sweep sweep
+
+let analyze_sweep_impl ?diag config reader (sweep : Linear.t) =
+  analyze_ix_impl ?diag config reader sweep (collect_indexes sweep)
+
 let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
   if Span.enabled () then
     Span.with_ ~name:"funseeker.analyze" (fun () ->
         analyze_sweep_impl config reader sweep)
   else analyze_sweep_impl config reader sweep
 
-let analyze_impl config anchored reader =
-  let sweep =
-    if anchored then Linear.sweep_text_anchored reader else Linear.sweep_text reader
+let analyze_st_impl config anchored st =
+  let sweep = if anchored then Substrate.sweep_anchored st else Substrate.sweep st in
+  let ix =
+    if Span.enabled () then
+      Span.with_ ~name:"funseeker.collect" (fun () -> Substrate.indexes ~anchored st)
+    else Substrate.indexes ~anchored st
   in
-  analyze_sweep_impl config reader sweep
+  analyze_ix_impl ~st config (Substrate.reader st) sweep ix
+
+let analyze_st ?(config = default_config) ?(anchored = false) st =
+  if Span.enabled () then
+    Span.with_ ~name:"funseeker.analyze" (fun () -> analyze_st_impl config anchored st)
+  else analyze_st_impl config anchored st
 
 let analyze ?(config = default_config) ?(anchored = false) reader =
-  if Span.enabled () then
-    Span.with_ ~name:"funseeker.analyze" (fun () -> analyze_impl config anchored reader)
-  else analyze_impl config anchored reader
+  analyze_st ~config ~anchored (Substrate.create reader)
 
 let analyze_bytes ?(config = default_config) ?(anchored = false) bytes =
   analyze ~config ~anchored (Cet_elf.Reader.read bytes)

@@ -50,6 +50,13 @@ val analyze : ?config:config -> ?anchored:bool -> Cet_elf.Reader.t -> result
     ({!Cet_disasm.Linear.sweep_anchored}), the §VI mitigation for binaries
     with inline data in [.text]. *)
 
+val analyze_st :
+  ?config:config -> ?anchored:bool -> Cet_disasm.Substrate.t -> result
+(** Like {!analyze} but over a shared per-binary substrate: the sweep,
+    the derived index arrays, and the landing-pad set are computed at most
+    once per binary however many configurations (or other tools) consume
+    them.  This is the entry point the evaluation harness uses. *)
+
 val analyze_sweep :
   ?config:config -> Cet_elf.Reader.t -> Cet_disasm.Linear.t -> result
 (** Like {!analyze} but over a pre-computed linear sweep — lets the

@@ -1,4 +1,5 @@
 module Linear = Cet_disasm.Linear
+module Substrate = Cet_disasm.Substrate
 
 type endbr_location =
   | At_function_entry
@@ -6,33 +7,34 @@ type endbr_location =
   | At_landing_pad
   | Elsewhere
 
-let classify_endbrs ?sweep reader ~truth =
-  let sweep = match sweep with Some s -> s | None -> Linear.sweep_text reader in
-  let endbrs = Linear.endbr_addrs sweep in
-  let truth_set = Hashtbl.create (List.length truth) in
+let classify_endbrs_st st ~truth =
+  let ix = Substrate.indexes st in
+  let truth_set = Hashtbl.create (max 16 (List.length truth)) in
   List.iter (fun a -> Hashtbl.replace truth_set a ()) truth;
-  let lp_set = Hashtbl.create 64 in
-  List.iter (fun a -> Hashtbl.replace lp_set a ()) (Parse.landing_pads reader);
+  let pads = Substrate.landing_pads st in
+  let reader = Substrate.reader st in
   let plt_map = Parse.plt reader in
   let ir_returns = Hashtbl.create 8 in
-  List.iter
-    (fun (_site, ret, target) ->
+  Array.iteri
+    (fun k target ->
       if Parse.in_plt plt_map target then
         match Parse.plt_name plt_map target with
         | Some name when List.mem name Parse.indirect_return_imports ->
-          Hashtbl.replace ir_returns ret ()
+          Hashtbl.replace ir_returns ix.Substrate.call_rets.(k) ()
         | _ -> ())
-    (Linear.call_sites sweep);
+    ix.Substrate.call_tgts;
   List.map
     (fun e ->
       let loc =
         if Hashtbl.mem truth_set e then At_function_entry
         else if Hashtbl.mem ir_returns e then After_indirect_return_call
-        else if Hashtbl.mem lp_set e then At_landing_pad
+        else if Linear.mem_sorted pads e then At_landing_pad
         else Elsewhere
       in
       (e, loc))
-    endbrs
+    (Array.to_list ix.Substrate.endbrs)
+
+let classify_endbrs reader ~truth = classify_endbrs_st (Substrate.create reader) ~truth
 
 type props = {
   endbr_at_head : bool;
@@ -40,23 +42,19 @@ type props = {
   dir_call_target : bool;
 }
 
-let function_props ?sweep reader ~truth =
-  let sweep = match sweep with Some s -> s | None -> Linear.sweep_text reader in
-  let endbr_set = Hashtbl.create 256 in
-  List.iter (fun a -> Hashtbl.replace endbr_set a ()) (Linear.endbr_addrs sweep);
-  let call_set = Hashtbl.create 256 in
-  List.iter (fun a -> Hashtbl.replace call_set a ()) (Linear.call_targets sweep);
-  let jmp_set = Hashtbl.create 256 in
-  List.iter (fun a -> Hashtbl.replace jmp_set a ()) (Linear.jmp_targets sweep);
+let function_props_st st ~truth =
+  let ix = Substrate.indexes st in
   List.map
     (fun entry ->
       ( entry,
         {
-          endbr_at_head = Hashtbl.mem endbr_set entry;
-          dir_jmp_target = Hashtbl.mem jmp_set entry;
-          dir_call_target = Hashtbl.mem call_set entry;
+          endbr_at_head = Linear.mem_sorted ix.Substrate.endbrs entry;
+          dir_jmp_target = Linear.mem_sorted ix.Substrate.jmp_targets entry;
+          dir_call_target = Linear.mem_sorted ix.Substrate.call_targets entry;
         } ))
     truth
+
+let function_props reader ~truth = function_props_st (Substrate.create reader) ~truth
 
 let props_key p =
   match (p.endbr_at_head, p.dir_jmp_target, p.dir_call_target) with

@@ -12,9 +12,12 @@ type endbr_location =
   | Elsewhere  (** never observed for compiler-generated code *)
 
 val classify_endbrs :
-  ?sweep:Cet_disasm.Linear.t ->
   Cet_elf.Reader.t -> truth:int list -> (int * endbr_location) list
 (** Classify every end-branch found by a linear sweep of [.text]. *)
+
+val classify_endbrs_st :
+  Cet_disasm.Substrate.t -> truth:int list -> (int * endbr_location) list
+(** {!classify_endbrs} over a shared per-binary substrate. *)
 
 type props = {
   endbr_at_head : bool;  (** EndBrAtHead *)
@@ -23,10 +26,13 @@ type props = {
 }
 
 val function_props :
-  ?sweep:Cet_disasm.Linear.t ->
   Cet_elf.Reader.t -> truth:int list -> (int * props) list
 (** For every ground-truth function entry, which of the three §III-C
     properties hold. *)
+
+val function_props_st :
+  Cet_disasm.Substrate.t -> truth:int list -> (int * props) list
+(** {!function_props} over a shared per-binary substrate. *)
 
 val props_key : props -> string
 (** Canonical region name for Figure 3 aggregation, e.g. ["endbr+call"],

@@ -15,9 +15,33 @@ type t = {
    of decoding. *)
 let deadline_mask = 4095
 
+(* Growable instruction buffer: the sweep appends into a doubling array and
+   the result is one exact-size copy — no per-instruction cons cells, no
+   List.rev, no Array.of_list.  [dummy_ins] only pads the unused tail. *)
+let dummy_ins : Decoder.ins = { addr = 0; len = 0; kind = Decoder.Other }
+
+type buf = { mutable arr : Decoder.ins array; mutable len : int }
+
+let buf_create hint = { arr = Array.make (max 16 hint) dummy_ins; len = 0 }
+
+let buf_push b ins =
+  if b.len = Array.length b.arr then begin
+    let bigger = Array.make (2 * b.len) dummy_ins in
+    Array.blit b.arr 0 bigger 0 b.len;
+    b.arr <- bigger
+  end;
+  b.arr.(b.len) <- ins;
+  b.len <- b.len + 1
+
+let buf_contents b = Array.sub b.arr 0 b.len
+
+(* Average x86 instruction length is ~4 bytes; starting the buffer near
+   size/4 makes a doubling copy rare without over-reserving tiny regions. *)
+let buf_hint size = (size / 4) + 16
+
 let sweep_impl arch base code =
   let size = String.length code in
-  let insns = ref [] in
+  let insns = buf_create (buf_hint size) in
   let errors = ref 0 in
   let off = ref 0 in
   let tick = ref 0 in
@@ -32,21 +56,14 @@ let sweep_impl arch base code =
     match Decoder.decode arch code ~base ~off:!off with
     | Ok ins ->
       desynced := false;
-      insns := ins :: !insns;
+      buf_push insns ins;
       off := !off + ins.Decoder.len
     | Error _ ->
       if not !desynced then incr errors;
       desynced := true;
       incr off
   done;
-  {
-    arch;
-    base;
-    size;
-    code;
-    insns = Array.of_list (List.rev !insns);
-    resync_errors = !errors;
-  }
+  { arch; base; size; code; insns = buf_contents insns; resync_errors = !errors }
 
 (* DISASSEMBLE is the hot phase; the disabled-telemetry path must stay
    allocation-free, hence the guard instead of a bare [Span.with_]. *)
@@ -78,16 +95,26 @@ let anchor_offsets arch code =
 let sweep_anchored_impl arch base code =
   let size = String.length code in
   let anchors = Array.of_list (anchor_offsets arch code) in
-  let next_anchor_after off =
-    (* Smallest anchor > off. *)
-    let lo = ref 0 and hi = ref (Array.length anchors) in
+  let nanchors = Array.length anchors in
+  (* First anchor index >= off; [anchors] is sorted ascending, so the same
+     binary search answers both "next anchor after" and membership. *)
+  let anchor_lower_bound off =
+    let lo = ref 0 and hi = ref nanchors in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if anchors.(mid) <= off then lo := mid + 1 else hi := mid
+      if anchors.(mid) < off then lo := mid + 1 else hi := mid
     done;
-    if !lo < Array.length anchors then Some anchors.(!lo) else None
+    !lo
   in
-  let insns = ref [] in
+  let next_anchor_after off =
+    let i = anchor_lower_bound (off + 1) in
+    if i < nanchors then Some anchors.(i) else None
+  in
+  let at_anchor off =
+    let i = anchor_lower_bound off in
+    i < nanchors && anchors.(i) = off
+  in
+  let insns = buf_create (buf_hint size) in
   let errors = ref 0 in
   let off = ref 0 in
   let tick = ref 0 in
@@ -96,12 +123,10 @@ let sweep_anchored_impl arch base code =
      and its (garbage) instructions are withheld from the stream, so no
      bogus branch targets are harvested from it. *)
   let trusted = ref true in
-  let anchor_set = Hashtbl.create (Array.length anchors) in
-  Array.iter (fun a -> Hashtbl.replace anchor_set a ()) anchors;
   while !off < size do
     incr tick;
     if !tick land deadline_mask = 0 then Cet_util.Deadline.check "disasm.sweep_anchored";
-    if Hashtbl.mem anchor_set !off then trusted := true;
+    if at_anchor !off then trusted := true;
     match Decoder.decode arch code ~base ~off:!off with
     | Ok ins -> (
       let stop = !off + ins.Decoder.len in
@@ -115,21 +140,14 @@ let sweep_anchored_impl arch base code =
         off := a;
         trusted := true
       | _ ->
-        if !trusted then insns := ins :: !insns;
+        if !trusted then buf_push insns ins;
         off := stop)
     | Error _ ->
       if !trusted then incr errors;
       trusted := false;
       incr off
   done;
-  {
-    arch;
-    base;
-    size;
-    code;
-    insns = Array.of_list (List.rev !insns);
-    resync_errors = !errors;
-  }
+  { arch; base; size; code; insns = buf_contents insns; resync_errors = !errors }
 
 let sweep_anchored arch ?(base = 0) code =
   if Cet_telemetry.Span.enabled () then
@@ -144,57 +162,147 @@ let sweep_text_anchored reader =
 
 let in_range t addr = addr >= t.base && addr < t.base + t.size
 
-let sorted_distinct addrs =
-  List.sort_uniq compare addrs
+let sorted_distinct addrs = List.sort_uniq Int.compare addrs
 
-let endbr_addrs t =
-  let want = match t.arch with Arch.X64 -> Decoder.Endbr64 | Arch.X86 -> Decoder.Endbr32 in
-  Array.to_list t.insns
-  |> List.filter_map (fun (i : Decoder.ins) ->
-         if i.kind = want then Some i.addr else None)
+(* ---- Array-based index extraction ----------------------------------- *)
 
-let call_targets t =
-  Array.to_list t.insns
-  |> List.filter_map (fun (i : Decoder.ins) ->
-         match i.kind with
-         | Decoder.Call_direct target when in_range t target -> Some target
-         | _ -> None)
-  |> sorted_distinct
+(* One pass over the instruction stream into a doubling int buffer — the
+   allocation shape every derived index shares.  [f] returns -1 to skip
+   (virtual addresses are non-negative: base + offset into a section). *)
+let extract_ints (t : t) (f : Decoder.ins -> int) =
+  let arr = ref (Array.make 64 0) in
+  let len = ref 0 in
+  let push v =
+    if !len = Array.length !arr then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !arr 0 bigger 0 !len;
+      arr := bigger
+    end;
+    !arr.(!len) <- v;
+    incr len
+  in
+  Array.iter
+    (fun ins ->
+      let v = f ins in
+      if v >= 0 then push v)
+    t.insns;
+  Array.sub !arr 0 !len
 
-let jmp_targets t =
-  Array.to_list t.insns
-  |> List.filter_map (fun (i : Decoder.ins) ->
-         match i.kind with
-         | Decoder.Jmp_direct target when in_range t target -> Some target
-         | _ -> None)
-  |> sorted_distinct
+(* In-place sort + dedup of an address array (monomorphic Int.compare). *)
+let sort_dedup_ints a =
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    Array.sort Int.compare a;
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    if !w = n then a else Array.sub a 0 !w
+  end
 
-let call_sites t =
-  Array.to_list t.insns
-  |> List.filter_map (fun (i : Decoder.ins) ->
-         match i.kind with
-         | Decoder.Call_direct target -> Some (i.addr, i.addr + i.len, target)
-         | _ -> None)
+(* Union of two sorted distinct address arrays, sorted distinct. *)
+let merge_sorted_dedup (a : int array) (b : int array) =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 and w = ref 0 in
+    let push v =
+      if !w = 0 || out.(!w - 1) <> v then begin
+        out.(!w) <- v;
+        incr w
+      end
+    in
+    while !i < na && !j < nb do
+      let x = a.(!i) and y = b.(!j) in
+      if x <= y then begin
+        push x;
+        incr i;
+        if x = y then incr j
+      end
+      else begin
+        push y;
+        incr j
+      end
+    done;
+    while !i < na do
+      push a.(!i);
+      incr i
+    done;
+    while !j < nb do
+      push b.(!j);
+      incr j
+    done;
+    if !w = na + nb then out else Array.sub out 0 !w
+  end
 
-let jmp_refs t =
-  Array.to_list t.insns
-  |> List.filter_map (fun (i : Decoder.ins) ->
-         match i.kind with
-         | Decoder.Jmp_direct target when in_range t target -> Some (i.addr, target)
-         | _ -> None)
-
-let insn_at t addr =
-  (* Instructions are in address order: binary search. *)
-  let lo = ref 0 and hi = ref (Array.length t.insns) in
-  let found = ref None in
+(* Membership in a sorted address array. *)
+let mem_sorted (a : int array) v =
+  let lo = ref 0 and hi = ref (Array.length a) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    let i = t.insns.(mid) in
-    if i.Decoder.addr = addr then begin
-      found := Some i;
-      lo := !hi
-    end
-    else if i.Decoder.addr < addr then lo := mid + 1
-    else hi := mid
+    if a.(mid) < v then lo := mid + 1 else hi := mid
   done;
-  !found
+  !lo < Array.length a && a.(!lo) = v
+
+let endbr_array t =
+  let want = match t.arch with Arch.X64 -> Decoder.Endbr64 | Arch.X86 -> Decoder.Endbr32 in
+  extract_ints t (fun i -> if i.kind = want then i.addr else -1)
+
+let call_target_array t =
+  sort_dedup_ints
+    (extract_ints t (fun i ->
+         match i.kind with
+         | Decoder.Call_direct target when in_range t target -> target
+         | _ -> -1))
+
+let jmp_target_array t =
+  sort_dedup_ints
+    (extract_ints t (fun i ->
+         match i.kind with
+         | Decoder.Jmp_direct target when in_range t target -> target
+         | _ -> -1))
+
+let endbr_addrs t = Array.to_list (endbr_array t)
+let call_targets t = Array.to_list (call_target_array t)
+let jmp_targets t = Array.to_list (jmp_target_array t)
+
+let call_sites t =
+  List.rev
+    (Array.fold_left
+       (fun acc (i : Decoder.ins) ->
+         match i.kind with
+         | Decoder.Call_direct target -> (i.addr, i.addr + i.len, target) :: acc
+         | _ -> acc)
+       [] t.insns)
+
+let jmp_refs t =
+  List.rev
+    (Array.fold_left
+       (fun acc (i : Decoder.ins) ->
+         match i.kind with
+         | Decoder.Jmp_direct target when in_range t target -> (i.addr, target) :: acc
+         | _ -> acc)
+       [] t.insns)
+
+(* Index of the first instruction at or after [addr]. *)
+let first_index_at t addr =
+  let insns = t.insns in
+  let lo = ref 0 and hi = ref (Array.length insns) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if insns.(mid).Decoder.addr < addr then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let index_of t addr =
+  let i = first_index_at t addr in
+  if i < Array.length t.insns && t.insns.(i).Decoder.addr = addr then Some i else None
+
+let insn_at t addr =
+  match index_of t addr with Some i -> Some t.insns.(i) | None -> None

@@ -61,3 +61,39 @@ val jmp_refs : t -> (int * int) list
 
 val insn_at : t -> int -> Cet_x86.Decoder.ins option
 (** The instruction starting exactly at the given address, if any. *)
+
+(** {2 Array-level accessors}
+
+    The zero-copy versions of the index extractors above: one pass over the
+    instruction stream into a monomorphic [int array], no intermediate
+    lists.  {!Substrate} memoises these per binary. *)
+
+val endbr_array : t -> int array
+(** {!endbr_addrs} as an array (address order). *)
+
+val call_target_array : t -> int array
+(** {!call_targets} as a sorted distinct array. *)
+
+val jmp_target_array : t -> int array
+(** {!jmp_targets} as a sorted distinct array. *)
+
+val sort_dedup_ints : int array -> int array
+(** Sort ([Int.compare]) and deduplicate in place; returns the (possibly
+    shorter) array. *)
+
+val mem_sorted : int array -> int -> bool
+(** Binary-search membership in a sorted address array. *)
+
+val merge_sorted_dedup : int array -> int array -> int array
+(** Union of two sorted distinct address arrays, sorted distinct.  Linear
+    time; returns one of the inputs when the other is empty. *)
+
+val first_index_at : t -> int -> int
+(** Index into [insns] of the first instruction at or after the address
+    ([Array.length insns] when none). *)
+
+val index_of : t -> int -> int option
+(** Index of the instruction starting exactly at the address, if any. *)
+
+val sorted_distinct : int list -> int list
+(** [List.sort_uniq Int.compare]. *)

@@ -1,0 +1,220 @@
+module Arch = Cet_x86.Arch
+module Decoder = Cet_x86.Decoder
+module Reader = Cet_elf.Reader
+
+type indexes = {
+  endbrs : int array;
+  call_sites : int array;
+  call_rets : int array;
+  call_tgts : int array;
+  call_targets : int array;
+  jmp_sites : int array;
+  jmp_tgts : int array;
+  jmp_targets : int array;
+}
+
+type t = {
+  t_reader : Reader.t;
+  mutable t_text : Reader.section option;
+  mutable t_text_known : bool;
+  mutable t_sweep : Linear.t option;
+  mutable t_anchored : Linear.t option;
+  mutable t_idx : indexes option;
+  mutable t_anchored_idx : indexes option;
+  mutable t_pads : int array option;
+  mutable t_frames : Cet_eh.Eh_frame.frame list option;
+  mutable t_fde_starts : int list option;
+  mutable t_fde_extents : (int * int) list option;
+}
+
+let create reader =
+  if Cet_telemetry.Registry.enabled () then Cet_telemetry.Registry.count "substrate.created";
+  {
+    t_reader = reader;
+    t_text = None;
+    t_text_known = false;
+    t_sweep = None;
+    t_anchored = None;
+    t_idx = None;
+    t_anchored_idx = None;
+    t_pads = None;
+    t_frames = None;
+    t_fde_starts = None;
+    t_fde_extents = None;
+  }
+
+let of_bytes bytes = create (Reader.read bytes)
+let reader t = t.t_reader
+
+let text t =
+  if not t.t_text_known then begin
+    t.t_text <- Reader.find_section t.t_reader ".text";
+    t.t_text_known <- true
+  end;
+  t.t_text
+
+let sweep t =
+  match t.t_sweep with
+  | Some s -> s
+  | None ->
+    let s = Linear.sweep_text t.t_reader in
+    t.t_sweep <- Some s;
+    s
+
+let sweep_anchored t =
+  match t.t_anchored with
+  | Some s -> s
+  | None ->
+    let s = Linear.sweep_text_anchored t.t_reader in
+    t.t_anchored <- Some s;
+    s
+
+(* ---- Derived index arrays ------------------------------------------- *)
+
+(* Doubling int buffer shared by the single-pass index build. *)
+type ibuf = { mutable arr : int array; mutable len : int }
+
+let ibuf_create () = { arr = Array.make 64 0; len = 0 }
+
+let ibuf_push b v =
+  if b.len = Array.length b.arr then begin
+    let bigger = Array.make (2 * b.len) 0 in
+    Array.blit b.arr 0 bigger 0 b.len;
+    b.arr <- bigger
+  end;
+  b.arr.(b.len) <- v;
+  b.len <- b.len + 1
+
+let ibuf_contents b = Array.sub b.arr 0 b.len
+
+(* One pass over the instruction stream harvests every index FunSeeker and
+   the baselines consume: E (end-branches), the call sites/returns/targets
+   triple, and the in-range unconditional-jump refs. *)
+let indexes_of_sweep (sw : Linear.t) =
+  if Cet_telemetry.Registry.enabled () then
+    Cet_telemetry.Registry.count "substrate.index_builds";
+  let want_endbr =
+    match sw.Linear.arch with Arch.X64 -> Decoder.Endbr64 | Arch.X86 -> Decoder.Endbr32
+  in
+  let eb = ibuf_create () in
+  let cs = ibuf_create () and cr = ibuf_create () and ct = ibuf_create () in
+  let js = ibuf_create () and jt = ibuf_create () in
+  Array.iter
+    (fun (i : Decoder.ins) ->
+      match i.kind with
+      | Decoder.Call_direct target ->
+        ibuf_push cs i.addr;
+        ibuf_push cr (i.addr + i.len);
+        ibuf_push ct target
+      | Decoder.Jmp_direct target when Linear.in_range sw target ->
+        ibuf_push js i.addr;
+        ibuf_push jt target
+      | k -> if k = want_endbr then ibuf_push eb i.addr)
+    sw.Linear.insns;
+  let call_tgts = ibuf_contents ct in
+  let in_range_tgts = ibuf_create () in
+  Array.iter (fun a -> if Linear.in_range sw a then ibuf_push in_range_tgts a) call_tgts;
+  {
+    endbrs = ibuf_contents eb;
+    call_sites = ibuf_contents cs;
+    call_rets = ibuf_contents cr;
+    call_tgts;
+    call_targets = Linear.sort_dedup_ints (ibuf_contents in_range_tgts);
+    jmp_sites = ibuf_contents js;
+    jmp_tgts = ibuf_contents jt;
+    jmp_targets = Linear.sort_dedup_ints (Array.copy (ibuf_contents jt));
+  }
+
+let indexes ?(anchored = false) t =
+  if anchored then (
+    match t.t_anchored_idx with
+    | Some ix -> ix
+    | None ->
+      let ix = indexes_of_sweep (sweep_anchored t) in
+      t.t_anchored_idx <- Some ix;
+      ix)
+  else
+    match t.t_idx with
+    | Some ix -> ix
+    | None ->
+      let ix = indexes_of_sweep (sweep t) in
+      t.t_idx <- Some ix;
+      ix
+
+(* ---- Exception-table facts ------------------------------------------ *)
+
+let fde_frames t =
+  match t.t_frames with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      match Reader.find_section t.t_reader ".eh_frame" with
+      | None -> []
+      | Some s -> Cet_eh.Eh_frame.decode ~vaddr:s.vaddr s.data
+    in
+    t.t_frames <- Some fs;
+    fs
+
+let fde_starts t =
+  match t.t_fde_starts with
+  | Some ss -> ss
+  | None ->
+    (* The sorted [.eh_frame_hdr] search table is the cheap source real
+       tools consult first; fall back to walking [.eh_frame] records. *)
+    let from_frames () =
+      List.map (fun (f : Cet_eh.Eh_frame.frame) -> f.pc_begin) (fde_frames t)
+      |> List.sort_uniq Int.compare
+    in
+    let ss =
+      match Reader.find_section t.t_reader ".eh_frame_hdr" with
+      | Some s -> (
+        match Cet_eh.Eh_frame_hdr.decode ~vaddr:s.vaddr s.data with
+        | entries ->
+          List.map (fun (e : Cet_eh.Eh_frame_hdr.entry) -> e.initial_loc) entries
+          |> List.sort_uniq Int.compare
+        | exception Invalid_argument _ -> from_frames ())
+      | None -> from_frames ()
+    in
+    t.t_fde_starts <- Some ss;
+    ss
+
+let compare_extent (a_lo, a_hi) (b_lo, b_hi) =
+  if a_lo <> b_lo then Int.compare a_lo b_lo else Int.compare a_hi b_hi
+
+let fde_extents t =
+  match t.t_fde_extents with
+  | Some es -> es
+  | None ->
+    let es =
+      List.map
+        (fun (f : Cet_eh.Eh_frame.frame) -> (f.pc_begin, f.pc_begin + f.pc_range))
+        (fde_frames t)
+      |> List.sort_uniq compare_extent
+    in
+    t.t_fde_extents <- Some es;
+    es
+
+let landing_pads t =
+  match t.t_pads with
+  | Some ps -> ps
+  | None ->
+    let ps =
+      match Reader.find_section t.t_reader ".gcc_except_table" with
+      | None -> [||]
+      | Some get ->
+        let pads = ibuf_create () in
+        List.iter
+          (fun (f : Cet_eh.Eh_frame.frame) ->
+            match f.lsda with
+            | None -> ()
+            | Some lsda_vaddr ->
+              let off = lsda_vaddr - get.vaddr in
+              if off >= 0 && off < String.length get.data then
+                let lsda = Cet_eh.Lsda.decode get.data ~off in
+                List.iter (ibuf_push pads)
+                  (Cet_eh.Lsda.landing_pads lsda ~func_start:f.pc_begin))
+          (fde_frames t);
+        Linear.sort_dedup_ints (ibuf_contents pads)
+    in
+    t.t_pads <- Some ps;
+    ps

@@ -3,5 +3,6 @@ let () =
   Alcotest.run "funseeker-repro"
     (Test_util.suite @ Test_x86.suite @ Test_elf.suite @ Test_eh.suite
    @ Test_compiler.suite @ Test_corpus.suite @ Test_funseeker.suite
-   @ Test_baselines.suite @ Test_eval.suite @ Test_arm.suite @ Test_edge.suite
-   @ Test_cfg.suite @ Test_telemetry.suite @ Test_robust.suite)
+   @ Test_baselines.suite @ Test_substrate.suite @ Test_eval.suite
+   @ Test_arm.suite @ Test_edge.suite @ Test_cfg.suite @ Test_telemetry.suite
+   @ Test_robust.suite)
