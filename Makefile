@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.  `make check` is the PR verify: build,
 # test, and smoke the multi-core evaluation path (--jobs 2).
-.PHONY: all test bench bench-json bench-diff check fuzz
+.PHONY: all test bench bench-json bench-diff check fuzz triage
 
 all:
 	dune build
@@ -31,3 +31,8 @@ check:
 # ~200-mutant smoke of the same engine runs as part of `make check`).
 fuzz:
 	dune exec bin/cetfuzz.exe -- --count 2000 --seed 2022
+
+# Error forensics: the full tables plus the FP/FN root-cause triage table
+# (a smaller seeded smoke of the same path runs as part of `make check`).
+triage:
+	dune exec bin/evaluate.exe -- all --triage --scale 0.05 --no-timing

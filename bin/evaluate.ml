@@ -5,7 +5,9 @@
      evaluate table1|fig3|table2|table3
      evaluate --scale 0.25 --seed 2022 --jobs 4 all
      evaluate --stats --trace-out trace.jsonl all   # telemetry report + JSON-lines trace
+     evaluate --trace-out t.json --trace-format chrome all   # Perfetto-openable trace
      evaluate --max-seconds 5 --quarantine-out q.jsonl all   # fault-isolated run
+     evaluate --triage --triage-out triage.jsonl all         # FP/FN root-cause forensics
 
    Exit codes: 0 on success, 1 when binaries were quarantined, 2 on usage
    errors. *)
@@ -14,8 +16,8 @@ open Cmdliner
 module Telemetry = Cet_telemetry.Registry
 module Report = Cet_telemetry.Report
 
-let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
-    quarantine_out fail_fast inject_fault =
+let run_eval what seed scale progress jobs no_timing stats trace_out trace_format
+    max_seconds quarantine_out fail_fast inject_fault triage triage_out =
   if jobs <= 0 then begin
     Printf.eprintf "evaluate: --jobs must be a positive worker count (got %d)\n" jobs;
     exit 2
@@ -34,17 +36,20 @@ let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
     Printf.eprintf "evaluate: --inject-fault must be a positive modulus (got %d)\n" n;
     exit 2
   | _ -> ());
-  (* Open the quarantine report up front so an unwritable path is a usage
+  (* Open the report files up front so an unwritable path is a usage
      error before hours of evaluation, not after. *)
-  let quarantine_oc =
-    match quarantine_out with
+  let open_report flag = function
     | None -> None
     | Some path -> (
       try Some (path, open_out path)
       with Sys_error msg ->
-        Printf.eprintf "evaluate: cannot open --quarantine-out file: %s\n" msg;
+        Printf.eprintf "evaluate: cannot open %s file: %s\n" flag msg;
         exit 2)
   in
+  let quarantine_oc = open_report "--quarantine-out" quarantine_out in
+  let triage_oc = open_report "--triage-out" triage_out in
+  (* --triage-out implies the forensics pass itself. *)
+  let triage = triage || triage_out <> None in
   if stats || trace_out <> None then
     Telemetry.enable ~trace:(trace_out <> None) ();
   let fault =
@@ -66,6 +71,7 @@ let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
       max_seconds;
       keep_going = not fail_fast;
       fault;
+      triage;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -92,12 +98,23 @@ let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
         Cet_eval.Harness.write_quarantine oc results;
         Printf.eprintf "quarantine report written to %s (%d entries)\n" path
           (List.length results.Cet_eval.Harness.failures));
-      (match what with
-      | "all" -> Cet_eval.Harness.render_all results
-      | "table1" -> Cet_eval.Tables.Table1.render results.table1
-      | "fig3" -> Cet_eval.Tables.Fig3.render results.fig3
-      | "table2" -> Cet_eval.Tables.Table2.render results.table2
-      | _ -> Cet_eval.Tables.Table3.render results.table3)
+      (match triage_oc with
+      | None -> ()
+      | Some (path, oc) ->
+        Cet_eval.Tables.Triage.write_jsonl oc results.Cet_eval.Harness.triage;
+        Printf.eprintf "triage report written to %s (%d errors)\n" path
+          (Cet_eval.Tables.Triage.total results.Cet_eval.Harness.triage));
+      let base =
+        match what with
+        | "all" -> Cet_eval.Harness.render_all results
+        | "table1" -> Cet_eval.Tables.Table1.render results.table1
+        | "fig3" -> Cet_eval.Tables.Fig3.render results.fig3
+        | "table2" -> Cet_eval.Tables.Table2.render results.table2
+        | _ -> Cet_eval.Tables.Table3.render results.table3
+      in
+      if triage then
+        base ^ "\n" ^ Cet_eval.Tables.Triage.render results.Cet_eval.Harness.triage
+      else base
     | other ->
       Printf.eprintf
         "evaluate: unknown experiment %S (try \
@@ -106,6 +123,7 @@ let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
       exit 2
   in
   Option.iter (fun (_, oc) -> close_out oc) quarantine_oc;
+  Option.iter (fun (_, oc) -> close_out oc) triage_oc;
   let wall = Unix.gettimeofday () -. t0 in
   print_string out;
   if stats then begin
@@ -124,8 +142,12 @@ let run_eval what seed scale progress jobs no_timing stats trace_out max_seconds
   | None -> ()
   | Some path ->
     let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Report.write_trace oc);
-    Printf.eprintf "trace written to %s\n" path);
+    let write = match trace_format with
+      | "chrome" -> Report.write_trace_chrome
+      | _ -> Report.write_trace
+    in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
+    Printf.eprintf "trace written to %s (%s)\n" path trace_format);
   !status
 
 let what =
@@ -173,6 +195,15 @@ let trace_out =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let trace_format =
+  let doc =
+    "Trace file format for --trace-out: $(b,jsonl) (one object per span, the \
+     default) or $(b,chrome) (Chrome trace-event JSON array, openable in \
+     chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (enum [ ("jsonl", "jsonl"); ("chrome", "chrome") ]) "jsonl"
+       & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
 let max_seconds =
   let doc =
     "Per-binary wall-clock budget in seconds.  A binary that exceeds it is \
@@ -207,6 +238,22 @@ let inject_fault =
   in
   Arg.(value & opt (some int) None & info [ "inject-fault" ] ~docv:"N" ~doc)
 
+let triage =
+  let doc =
+    "Error forensics: rerun the full FunSeeker configuration with decision \
+     provenance and append a root-cause triage table (false positives and \
+     false negatives bucketed per compilation configuration) to the output."
+  in
+  Arg.(value & flag & info [ "triage" ] ~doc)
+
+let triage_out =
+  let doc =
+    "Write the triage buckets as JSON lines (config, bucket, count) to \
+     $(docv).  Implies --triage.  The file is opened before the run, so an \
+     unwritable path fails fast with exit code 2."
+  in
+  Arg.(value & opt (some string) None & info [ "triage-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the FunSeeker paper's tables and figures" in
   Cmd.v
@@ -218,6 +265,7 @@ let cmd =
        ])
     Term.(
       const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing $ stats
-      $ trace_out $ max_seconds $ quarantine_out $ fail_fast $ inject_fault)
+      $ trace_out $ trace_format $ max_seconds $ quarantine_out $ fail_fast
+      $ inject_fault $ triage $ triage_out)
 
 let () = exit (Cmd.eval' cmd)

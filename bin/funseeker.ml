@@ -1,6 +1,6 @@
 (* funseeker — identify function entries in a CET-enabled ELF binary.
 
-   Usage: funseeker [--config 1|2|3|4] [--stats] [--truth] FILE *)
+   Usage: funseeker [--config 1|2|3|4] [--stats] [--truth] [--explain ADDR] FILE *)
 
 open Cmdliner
 
@@ -10,13 +10,26 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run file config_no anchored stats with_truth =
+let parse_addr s =
+  match int_of_string_opt s with
+  | Some a when a >= 0 -> a
+  | _ ->
+    Printf.eprintf "funseeker: --explain expects an address (hex 0x... or decimal), got %S\n" s;
+    exit 2
+
+let run file config_no anchored stats with_truth explain =
   (* --stats doubles as the telemetry switch: phase spans recorded during
      the analysis are reported to stderr at the end. *)
   if stats then Cet_telemetry.Registry.enable ();
   let bytes = read_file file in
   let reader = Cet_elf.Reader.read bytes in
+  let explain = Option.map parse_addr explain in
   if Cet_elf.Reader.machine reader = Cet_elf.Consts.em_aarch64 then begin
+    if explain <> None then begin
+      Printf.eprintf "funseeker: --explain is x86/CET-only (decision provenance is not \
+ported to the BTI seeker)\n";
+      exit 2
+    end;
     (* BTI-enabled AArch64 binary: route to the ported seeker (SSVI). *)
     let r = Cet_arm64.Bti_seeker.analyze reader in
     List.iter (fun addr -> Printf.printf "0x%x\n" addr) r.Cet_arm64.Bti_seeker.functions;
@@ -39,6 +52,15 @@ let run file config_no anchored stats with_truth =
     | 3 -> Core.Funseeker.config3
     | _ -> Core.Funseeker.config4
   in
+  match explain with
+  | Some addr ->
+    (* Evidence chain for one address: rerun the requested configuration
+       with decision provenance and print why the address was (not)
+       identified. *)
+    let st = Cet_disasm.Substrate.create reader in
+    let _r, prov = Core.Funseeker.analyze_prov ~config ~anchored st in
+    print_string (Core.Provenance.explain prov addr)
+  | None ->
   let r = Core.Funseeker.analyze ~config ~anchored reader in
   List.iter (fun addr -> Printf.printf "0x%x\n" addr) r.Core.Funseeker.functions;
   if stats then begin
@@ -79,8 +101,16 @@ let stats =
 let with_truth =
   Arg.(value & flag & info [ "truth" ] ~doc:"Compare against .symtab ground truth.")
 
+let explain =
+  let doc =
+    "Print the decision-provenance evidence chain for $(docv) (hex 0x... or \
+     decimal) instead of the entry list: candidate sources, FILTERENDBR \
+     decision with its reason, SELECTTAILCALL votes, final verdict."
+  in
+  Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"ADDR" ~doc)
+
 let cmd =
   let doc = "FunSeeker: function identification for CET-enabled binaries" in
-  Cmd.v (Cmd.info "funseeker" ~doc) Term.(const run $ file $ config_no $ anchored $ stats $ with_truth)
+  Cmd.v (Cmd.info "funseeker" ~doc) Term.(const run $ file $ config_no $ anchored $ stats $ with_truth $ explain)
 
 let () = exit (Cmd.eval cmd)

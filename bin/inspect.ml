@@ -1,6 +1,8 @@
 (* inspect — dump the analysis-relevant structure of an ELF binary:
    sections, symbols, PLT map, FDEs, LSDAs, and a .text disassembly
-   summary. *)
+   summary.  With --explain ADDR, print FunSeeker's decision-provenance
+   evidence chain for one address instead, cross-referenced against the
+   symbol-table ground truth when the binary is unstripped. *)
 
 open Cmdliner
 
@@ -10,8 +12,29 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run file disasm =
+let explain_addr reader addr =
+  let st = Cet_disasm.Substrate.create reader in
+  let _r, prov = Core.Funseeker.analyze_prov st in
+  print_string (Core.Provenance.explain prov addr);
+  (* Ground-truth cross-reference: is the address actually a function
+     entry?  Only answerable on unstripped binaries. *)
+  let truth = Cet_eval.Ground_truth.from_symbols reader in
+  if truth = [] then
+    print_endline "  ground truth               : unavailable (binary is stripped)"
+  else if List.mem addr (Cet_eval.Ground_truth.addresses truth) then
+    print_endline "  ground truth               : function entry (in .symtab)"
+  else print_endline "  ground truth               : NOT a function entry per .symtab"
+
+let run file disasm explain =
   let reader = Cet_elf.Reader.read (read_file file) in
+  match explain with
+  | Some s ->
+    (match int_of_string_opt s with
+    | Some addr when addr >= 0 -> explain_addr reader addr
+    | _ ->
+      Printf.eprintf "inspect: --explain expects an address (hex 0x... or decimal), got %S\n" s;
+      exit 2)
+  | None ->
   let arch = Cet_elf.Reader.arch reader in
   Printf.printf "arch: %s  type: %s  entry: 0x%x  cet: %b\n"
     (Cet_x86.Arch.to_string arch)
@@ -55,8 +78,15 @@ let run file disasm =
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Dump the instruction stream.")
 
+let explain =
+  let doc =
+    "Print FunSeeker's evidence chain for $(docv) (hex 0x... or decimal) \
+     with a .symtab ground-truth cross-reference, instead of the dump."
+  in
+  Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"ADDR" ~doc)
+
 let cmd =
   let doc = "dump ELF / exception-handling structure" in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file $ disasm)
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file $ disasm $ explain)
 
 let () = exit (Cmd.eval cmd)

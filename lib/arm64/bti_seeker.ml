@@ -31,7 +31,7 @@ let analyze reader =
     let candidates = List.sort_uniq Int.compare (!bti_c @ calls) in
     let selected =
       Core.Funseeker.select_tail_calls ~candidates ~jmp_refs:!jmp_refs
-        ~call_refs:!call_refs ~text_end:limit
+        ~call_refs:!call_refs ~text_end:limit ()
     in
     {
       functions = List.sort_uniq Int.compare (candidates @ selected);

@@ -54,7 +54,7 @@ let owner_extent starts text_end addr =
     let hi = if idx + 1 < n then starts.(idx + 1) else text_end in
     Some (lo, hi)
 
-let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
+let select_tail_calls ?on_vote ~candidates ~jmp_refs ~call_refs ~text_end () =
   let starts = Array.of_list candidates in
   Array.sort Int.compare starts;
   let owner addr = owner_extent starts text_end addr in
@@ -80,7 +80,11 @@ let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
           | None -> false
           | Some srcs -> List.exists (fun s -> s <> lo) srcs
         in
-        if beyond && outside_refs then Some target else None)
+        let selected = beyond && outside_refs in
+        (match on_vote with
+        | None -> ()
+        | Some f -> f ~site ~target ~lo ~hi ~beyond ~outside_refs ~selected);
+        if selected then Some target else None)
     jmp_refs
   |> List.sort_uniq Int.compare
 
@@ -91,7 +95,7 @@ let select_tail_calls ~candidates ~jmp_refs ~call_refs ~text_end =
    The landing-pad set comes from the substrate's memoised decode when one
    is available; the robust path ([diag] present) always parses fresh via
    [Parse.landing_pads_diag] so its degradation semantics are unchanged. *)
-let filter_endbr ?diag ?st reader ~(ix : Substrate.indexes) ~filtered_ir ~filtered_lp =
+let filter_endbr ?diag ?st ?prov reader ~(ix : Substrate.indexes) ~filtered_ir ~filtered_lp =
   (* Drop end-branches that are return targets of indirect-return
      imports (setjmp & co.), identified through the PLT.  On the robust
      path ([diag] present) a corrupt relocation table degrades to "no
@@ -107,13 +111,15 @@ let filter_endbr ?diag ?st reader ~(ix : Substrate.indexes) ~filtered_ir ~filter
           (Printexc.to_string e);
         { Parse.plt_lo = 0; plt_hi = 0; entries = [] })
   in
+  (* The value is the call-site address, so a provenance record can name
+     the call responsible for a filtered end-branch. *)
   let ir_returns = Hashtbl.create 8 in
   Array.iteri
     (fun k target ->
       if Parse.in_plt plt_map target then
         match Parse.plt_name plt_map target with
         | Some name when List.mem name Parse.indirect_return_imports ->
-          Hashtbl.replace ir_returns ix.Substrate.call_rets.(k) ()
+          Hashtbl.replace ir_returns ix.Substrate.call_rets.(k) ix.Substrate.call_sites.(k)
         | _ -> ())
     ix.Substrate.call_tgts;
   (* Drop end-branches heading exception landing pads. *)
@@ -128,17 +134,31 @@ let filter_endbr ?diag ?st reader ~(ix : Substrate.indexes) ~filtered_ir ~filter
   let n = ref 0 in
   Array.iter
     (fun e ->
-      if Hashtbl.mem ir_returns e then incr filtered_ir
-      else if Linear.mem_sorted pads e then incr filtered_lp
-      else begin
-        keep.(!n) <- e;
-        incr n
-      end)
+      match Hashtbl.find_opt ir_returns e with
+      | Some call_site ->
+        incr filtered_ir;
+        Option.iter
+          (fun p ->
+            Provenance.record_filter p e
+              (Provenance.Filtered_indirect_return { call_site }))
+          prov
+      | None ->
+        if Linear.mem_sorted pads e then begin
+          incr filtered_lp;
+          Option.iter
+            (fun p -> Provenance.record_filter p e Provenance.Filtered_landing_pad)
+            prov
+        end
+        else begin
+          Option.iter (fun p -> Provenance.record_filter p e Provenance.Kept) prov;
+          keep.(!n) <- e;
+          incr n
+        end)
     endbrs;
   Array.sub keep 0 !n
 
 (* SELECTTAILCALL over the jump set, returning the selected count too. *)
-let select_phase (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candidates =
+let select_phase ?prov (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candidates =
   let jmp_refs =
     List.init (Array.length ix.Substrate.jmp_sites) (fun k ->
         (ix.Substrate.jmp_sites.(k), ix.Substrate.jmp_tgts.(k)))
@@ -149,26 +169,45 @@ let select_phase (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candidates =
     if Linear.in_range sweep target then
       call_refs := (ix.Substrate.call_sites.(k), target) :: !call_refs
   done;
+  let on_vote =
+    match prov with
+    | None -> None
+    | Some p ->
+      Some
+        (fun ~site ~target ~lo ~hi ~beyond ~outside_refs ~selected ->
+          Provenance.record_vote p ~target
+            {
+              Provenance.v_site = site;
+              v_lo = lo;
+              v_hi = hi;
+              v_beyond = beyond;
+              v_outside_ref = outside_refs;
+              v_selected = selected;
+            })
+  in
   let selected =
-    select_tail_calls
+    select_tail_calls ?on_vote
       ~candidates:(Array.to_list base_candidates)
       ~jmp_refs ~call_refs:!call_refs
-      ~text_end:(sweep.base + sweep.size)
+      ~text_end:(sweep.base + sweep.size) ()
   in
+  (match prov with
+  | None -> ()
+  | Some p -> List.iter (Provenance.mark_selected p) selected);
   ( Linear.merge_sorted_dedup base_candidates (Array.of_list selected),
     List.length selected )
 
 (* The analysis core over a sweep plus its (possibly memoised) index
    arrays.  Everything here is set algebra on sorted int arrays; the only
    per-call allocations are the merged candidate arrays themselves. *)
-let analyze_ix_impl ?diag ?st config reader (sweep : Linear.t) (ix : Substrate.indexes) =
+let analyze_ix_impl ?diag ?st ?prov config reader (sweep : Linear.t) (ix : Substrate.indexes) =
   let filtered_ir = ref 0 and filtered_lp = ref 0 in
   let endbrs' =
     if not config.filter_endbr then ix.Substrate.endbrs
     else if Span.enabled () then
       Span.with_ ~name:"funseeker.filter_endbr" (fun () ->
-          filter_endbr ?diag ?st reader ~ix ~filtered_ir ~filtered_lp)
-    else filter_endbr ?diag ?st reader ~ix ~filtered_ir ~filtered_lp
+          filter_endbr ?diag ?st ?prov reader ~ix ~filtered_ir ~filtered_lp)
+    else filter_endbr ?diag ?st ?prov reader ~ix ~filtered_ir ~filtered_lp
   in
   (* [endbrs'] is in address order, hence sorted: a linear merge with the
      sorted call-target set replaces the old sort_uniq over a concat. *)
@@ -182,8 +221,8 @@ let analyze_ix_impl ?diag ?st config reader (sweep : Linear.t) (ix : Substrate.i
       let fns, n =
         if Span.enabled () then
           Span.with_ ~name:"funseeker.select_tailcall" (fun () ->
-              select_phase sweep ~ix ~base_candidates)
-        else select_phase sweep ~ix ~base_candidates
+              select_phase ?prov sweep ~ix ~base_candidates)
+        else select_phase ?prov sweep ~ix ~base_candidates
       in
       tail_selected := n;
       fns
@@ -246,6 +285,34 @@ let analyze_st ?(config = default_config) ?(anchored = false) st =
 
 let analyze ?(config = default_config) ?(anchored = false) reader =
   analyze_st ~config ~anchored (Substrate.create reader)
+
+(* ---- Provenance-recording path ---------------------------------------- *)
+
+(* The candidate sources (E, C, J membership plus the referencing sites)
+   are facts about the binary, so they are recorded up front whatever the
+   configuration; the filter decisions and tail-call votes are recorded by
+   the phases the configuration actually runs. *)
+let record_sources prov sweep (ix : Substrate.indexes) =
+  Array.iter (Provenance.record_endbr prov) ix.Substrate.endbrs;
+  Array.iteri
+    (fun k target ->
+      if Linear.in_range sweep target then
+        Provenance.record_call prov ~site:ix.Substrate.call_sites.(k) ~target)
+    ix.Substrate.call_tgts;
+  Array.iter (Provenance.mark_call_target prov) ix.Substrate.call_targets;
+  Array.iteri
+    (fun k target -> Provenance.record_jmp prov ~site:ix.Substrate.jmp_sites.(k) ~target)
+    ix.Substrate.jmp_tgts;
+  Array.iter (Provenance.mark_jmp_target prov) ix.Substrate.jmp_targets
+
+let analyze_prov ?(config = default_config) ?(anchored = false) st =
+  let prov = Provenance.create () in
+  let sweep = if anchored then Substrate.sweep_anchored st else Substrate.sweep st in
+  let ix = Substrate.indexes ~anchored st in
+  record_sources prov sweep ix;
+  let r = analyze_ix_impl ~st ~prov config (Substrate.reader st) sweep ix in
+  List.iter (Provenance.mark_kept prov) r.functions;
+  (r, prov)
 
 let analyze_bytes ?(config = default_config) ?(anchored = false) bytes =
   analyze ~config ~anchored (Cet_elf.Reader.read bytes)

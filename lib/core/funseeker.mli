@@ -57,6 +57,19 @@ val analyze_st :
     once per binary however many configurations (or other tools) consume
     them.  This is the entry point the evaluation harness uses. *)
 
+val analyze_prov :
+  ?config:config ->
+  ?anchored:bool ->
+  Cet_disasm.Substrate.t ->
+  result * Provenance.t
+(** {!analyze_st} with decision provenance: beside the usual result, a
+    per-address evidence record of every candidate source, every
+    FILTERENDBR decision with its reason, every SELECTTAILCALL vote with
+    its inputs, and the final verdict.  The identified set is unchanged
+    ([fst (analyze_prov st) = analyze_st st], test-asserted), and the
+    plain {!analyze_st} path pays nothing for the feature — recording
+    only happens through this entry point. *)
+
 val analyze_sweep :
   ?config:config -> Cet_elf.Reader.t -> Cet_disasm.Linear.t -> result
 (** Like {!analyze} but over a pre-computed linear sweep — lets the
@@ -94,13 +107,25 @@ val analyze_bytes_diag :
     raises. *)
 
 val select_tail_calls :
+  ?on_vote:
+    (site:int ->
+    target:int ->
+    lo:int ->
+    hi:int ->
+    beyond:bool ->
+    outside_refs:bool ->
+    selected:bool ->
+    unit) ->
   candidates:int list ->
   jmp_refs:(int * int) list ->
   call_refs:(int * int) list ->
   text_end:int ->
+  unit ->
   int list
 (** SELECTTAILCALL in isolation (exposed for tests): given candidate
     function starts, jump references and call references as
     [(site, target)], keep the jump targets that (1) land beyond the extent
     of the function containing the jump, and (2) are referenced from at
-    least one other function. *)
+    least one other function.  [on_vote] observes every vote with its
+    clause outcomes — the provenance recorder's hook; omitted, the
+    selection is exactly the production path. *)

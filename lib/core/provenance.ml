@@ -1,0 +1,216 @@
+module Linear = Cet_disasm.Linear
+
+type filter_decision =
+  | Kept
+  | Filtered_indirect_return of { call_site : int }
+  | Filtered_landing_pad
+
+type vote = {
+  v_site : int;
+  v_lo : int;
+  v_hi : int;
+  v_beyond : bool;
+  v_outside_ref : bool;
+  v_selected : bool;
+}
+
+type evidence = {
+  e_addr : int;
+  mutable e_endbr : bool;
+  mutable e_filter : filter_decision option;
+  mutable e_call_sites : int list;
+  mutable e_call_target : bool;
+  mutable e_jmp_sites : int list;
+  mutable e_jmp_target : bool;
+  mutable e_votes : vote list;
+  mutable e_selected : bool;
+  mutable e_kept : bool;
+}
+
+type t = { tbl : (int, evidence) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 256 }
+let find t addr = Hashtbl.find_opt t.tbl addr
+
+let get t addr =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        e_addr = addr;
+        e_endbr = false;
+        e_filter = None;
+        e_call_sites = [];
+        e_call_target = false;
+        e_jmp_sites = [];
+        e_jmp_target = false;
+        e_votes = [];
+        e_selected = false;
+        e_kept = false;
+      }
+    in
+    Hashtbl.replace t.tbl addr e;
+    e
+
+let list t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort (fun a b -> Int.compare a.e_addr b.e_addr)
+
+let kept t =
+  Hashtbl.fold (fun addr e acc -> if e.e_kept then addr :: acc else acc) t.tbl []
+  |> List.sort Int.compare
+
+(* Sites arrive in address order and are consed; reverse on record close is
+   avoided by appending lazily — the lists are tiny, so keep them in
+   arrival order by reversing at read time in [explain]. *)
+let record_endbr t addr = (get t addr).e_endbr <- true
+let record_filter t addr d = (get t addr).e_filter <- Some d
+
+let record_call t ~site ~target =
+  let e = get t target in
+  e.e_call_sites <- site :: e.e_call_sites
+
+let mark_call_target t addr = (get t addr).e_call_target <- true
+
+let record_jmp t ~site ~target =
+  let e = get t target in
+  e.e_jmp_sites <- site :: e.e_jmp_sites
+
+let mark_jmp_target t addr = (get t addr).e_jmp_target <- true
+
+let record_vote t ~target v =
+  let e = get t target in
+  e.e_votes <- v :: e.e_votes
+
+let mark_selected t addr = (get t addr).e_selected <- true
+let mark_kept t addr = (get t addr).e_kept <- true
+
+(* ---- Error forensics -------------------------------------------------- *)
+
+type bucket =
+  | Fp_landing_pad
+  | Fp_unfiltered_endbr
+  | Fp_tail_call
+  | Fp_jump_target
+  | Fp_call_target
+  | Fp_other
+  | Fn_filtered_true_entry
+  | Fn_missed_tailcall
+  | Fn_no_anchor
+  | Fn_other
+
+let bucket_name = function
+  | Fp_landing_pad -> "fp-landing-pad"
+  | Fp_unfiltered_endbr -> "fp-unfiltered-endbr"
+  | Fp_tail_call -> "fp-tail-call"
+  | Fp_jump_target -> "fp-jump-target"
+  | Fp_call_target -> "fp-call-target"
+  | Fp_other -> "fp-other"
+  | Fn_filtered_true_entry -> "fn-filtered-true-entry"
+  | Fn_missed_tailcall -> "fn-missed-tailcall"
+  | Fn_no_anchor -> "fn-no-anchor"
+  | Fn_other -> "fn-other"
+
+let bucket_fp t ~pads addr =
+  if Linear.mem_sorted pads addr then Fp_landing_pad
+  else
+    match find t addr with
+    | None -> Fp_other
+    | Some e ->
+      if e.e_endbr then Fp_unfiltered_endbr
+      else if e.e_selected then Fp_tail_call
+      else if e.e_call_target then Fp_call_target
+      else if e.e_jmp_target then Fp_jump_target
+      else Fp_other
+
+let bucket_fn t addr =
+  match find t addr with
+  | None -> Fn_no_anchor
+  | Some e -> (
+    match e.e_filter with
+    | Some (Filtered_indirect_return _ | Filtered_landing_pad) ->
+      Fn_filtered_true_entry
+    | Some Kept | None ->
+      if e.e_jmp_target then Fn_missed_tailcall
+      else if not (e.e_endbr || e.e_call_target || e.e_jmp_target) then Fn_no_anchor
+      else Fn_other)
+
+let errors t ~truth ~pads =
+  let predicted = kept t in
+  (* Both lists are sorted distinct; one linear walk yields FPs and FNs in
+     one address-ordered stream. *)
+  let rec walk acc p q =
+    match (p, q) with
+    | [], [] -> List.rev acc
+    | f :: p', [] -> walk ((f, bucket_fp t ~pads f) :: acc) p' []
+    | [], g :: q' -> walk ((g, bucket_fn t g) :: acc) [] q'
+    | f :: p', g :: q' ->
+      if f = g then walk acc p' q'
+      else if f < g then walk ((f, bucket_fp t ~pads f) :: acc) p' q
+      else walk ((g, bucket_fn t g) :: acc) p q'
+  in
+  walk [] predicted (List.sort_uniq Int.compare truth)
+
+(* ---- Explanation ------------------------------------------------------ *)
+
+let hex a = Printf.sprintf "0x%x" a
+
+let sites_str sites =
+  String.concat ", " (List.rev_map hex sites)
+
+let explain t addr =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf ("  " ^ s ^ "\n")) fmt in
+  (match find t addr with
+  | None ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s — verdict: NOT A CANDIDATE\n" (hex addr));
+    line
+      "no end-branch at the address, no direct-call or direct-jump reference \
+       to it: invisible to every heuristic"
+  | Some e ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s — verdict: %s\n" (hex addr)
+         (if e.e_kept then "KEPT (identified as a function entry)"
+          else "REJECTED (candidate, not in the identified set)"));
+    line "end-branch at address      : %s" (if e.e_endbr then "yes" else "no");
+    if e.e_endbr then begin
+      match e.e_filter with
+      | None -> line "FILTERENDBR                : not run (filter disabled in this configuration)"
+      | Some Kept ->
+        line
+          "FILTERENDBR                : kept (not an indirect-return site, not \
+           a landing pad)"
+      | Some (Filtered_indirect_return { call_site }) ->
+        line
+          "FILTERENDBR                : filtered — return target of the \
+           indirect-return call at %s (setjmp-style import)"
+          (hex call_site)
+      | Some Filtered_landing_pad ->
+        line "FILTERENDBR                : filtered — exception landing pad (catch block)"
+    end;
+    line "direct-call target (C)     : %s%s"
+      (if e.e_call_target then "yes" else if e.e_call_sites <> [] then "out-of-range" else "no")
+      (if e.e_call_sites = [] then ""
+       else Printf.sprintf " — called from %s" (sites_str e.e_call_sites));
+    line "direct-jump target (J)     : %s%s"
+      (if e.e_jmp_target then "yes" else "no")
+      (if e.e_jmp_sites = [] then ""
+       else Printf.sprintf " — jumped to from %s" (sites_str e.e_jmp_sites));
+    List.iter
+      (fun v ->
+        line
+          "  SELECTTAILCALL vote from %s (extent %s..%s): beyond extent: %s, \
+           outside refs: %s -> %s"
+          (hex v.v_site) (hex v.v_lo) (hex v.v_hi)
+          (if v.v_beyond then "yes" else "no")
+          (if v.v_outside_ref then "yes" else "no")
+          (if v.v_selected then "selected" else "rejected"))
+      (List.rev e.e_votes);
+    if e.e_jmp_target then
+      line "tail-call selection (J')   : %s"
+        (if e.e_selected then "selected"
+         else if e.e_votes = [] then "not voted on (selection not run or site unowned)"
+         else "rejected by every vote"));
+  Buffer.contents buf

@@ -12,6 +12,7 @@ type options = {
   max_seconds : float option;
   keep_going : bool;
   fault : (Dataset.binary -> bool) option;
+  triage : bool;
 }
 
 let default_options =
@@ -23,6 +24,7 @@ let default_options =
     max_seconds = None;
     keep_going = true;
     fault = None;
+    triage = false;
   }
 
 type failure = {
@@ -39,6 +41,7 @@ type results = {
   fig3 : Tables.Fig3.t;
   table2 : Tables.Table2.t;
   table3 : Tables.Table3.t;
+  triage : Tables.Triage.t;
   binaries : int;
   functions : int;
   failures : failure list;
@@ -63,6 +66,7 @@ let empty_results () =
     fig3 = Tables.Fig3.create ();
     table2 = Tables.Table2.create ();
     table3 = Tables.Table3.create ();
+    triage = Tables.Triage.create ();
     binaries = 0;
     functions = 0;
     failures = [];
@@ -73,6 +77,7 @@ let merge_results into src =
   Tables.Fig3.merge into.fig3 src.fig3;
   Tables.Table2.merge into.table2 src.table2;
   Tables.Table3.merge into.table3 src.table3;
+  Tables.Triage.merge into.triage src.triage;
   {
     into with
     binaries = into.binaries + src.binaries;
@@ -86,6 +91,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
   let total_binaries = Dataset.binaries plan in
   let t0 = Unix.gettimeofday () in
   let progress = Atomic.make 0 in
+  let retried = Atomic.make 0 in
   (* Live status line: done/total with rate and ETA, throttled so the
      stderr traffic stays negligible.  Racing workers may interleave
      updates, but each is one whole carriage-returned line. *)
@@ -157,6 +163,20 @@ let run ?profiles ?configs ?jobs (opts : options) =
       (Metrics.compare_sets ~truth ~found:fetch);
     if opts.timing then
       Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"fetch" fetch_time;
+    (* Error forensics (opt-in): rerun the full configuration with decision
+       provenance, join the identified set against ground truth, and bucket
+       every false positive / false negative by root cause, keyed by this
+       binary's compilation configuration. *)
+    if opts.triage then begin
+      let _r, prov = Core.Funseeker.analyze_prov st in
+      let pads = Substrate.landing_pads st in
+      let config = Options.to_string bin.config in
+      List.iter
+        (fun (_addr, b) ->
+          Tables.Triage.record acc.triage ~config
+            ~bucket:(Core.Provenance.bucket_name b))
+        (Core.Provenance.errors prov ~truth ~pads)
+    end;
     { acc with binaries = acc.binaries + 1; functions = acc.functions + List.length truth }
   in
   (* Fault isolation: every binary is evaluated into a FRESH accumulator
@@ -200,7 +220,10 @@ let run ?profiles ?configs ?jobs (opts : options) =
       | exception e1 -> (
         let bt1 = Printexc.get_raw_backtrace () in
         let retryable = match e1 with Cet_util.Deadline.Expired _ -> false | _ -> true in
-        if retryable then Cet_telemetry.Registry.count "harness.retried";
+        if retryable then begin
+          Atomic.incr retried;
+          Cet_telemetry.Registry.count "harness.retried"
+        end;
         let quarantine ~attempts e bt =
           if not opts.keep_going then Printexc.raise_with_backtrace e bt;
           Cet_telemetry.Registry.count "harness.quarantined";
@@ -230,9 +253,11 @@ let run ?profiles ?configs ?jobs (opts : options) =
   let done_count = Atomic.get progress in
   if opts.progress && done_count > 0 then begin
     let elapsed = Unix.gettimeofday () -. t0 in
-    Printf.eprintf "\r  %d/%d binaries in %.1fs (%.1f bin/s)          \n" done_count
-      total_binaries elapsed
-      (if elapsed > 0.0 then float_of_int done_count /. elapsed else 0.0);
+    Printf.eprintf
+      "\r  %d/%d binaries in %.1fs (%.1f bin/s), %d quarantined, %d retried          \n"
+      done_count total_binaries elapsed
+      (if elapsed > 0.0 then float_of_int done_count /. elapsed else 0.0)
+      (List.length results.failures) (Atomic.get retried);
     flush stderr
   end;
   if Cet_telemetry.Registry.enabled () then begin

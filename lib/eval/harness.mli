@@ -18,7 +18,8 @@ type options = {
   scale : float;
   progress : bool;
       (** print a live [done/total  rate  ETA] status line to stderr,
-          finishing with one exact [done/total] summary line (nothing is
+          finishing with one exact [done/total] summary line that also
+          reports quarantined and retried binary counts (nothing is
           printed for an empty plan) *)
   timing : bool;
       (** measure per-binary wall-clock for Table III; [false] zeroes the
@@ -33,6 +34,12 @@ type options = {
   fault : (Cet_corpus.Dataset.binary -> bool) option;
       (** test hook: binaries selected by this predicate fail with an
           injected exception, exercising the quarantine path *)
+  triage : bool;
+      (** error forensics: rerun the full FunSeeker configuration with
+          decision provenance on every binary and bucket each false
+          positive / false negative by root cause into
+          {!results.triage}.  Off by default — the extra provenance pass
+          costs a second full-config run per binary. *)
 }
 
 val default_options : options
@@ -54,6 +61,9 @@ type results = {
   fig3 : Tables.Fig3.t;
   table2 : Tables.Table2.t;
   table3 : Tables.Table3.t;
+  triage : Tables.Triage.t;
+      (** root-cause buckets per configuration; empty unless
+          {!options.triage} was set *)
   binaries : int;  (** successfully evaluated binaries *)
   functions : int;  (** total ground-truth functions across the dataset *)
   failures : failure list;  (** quarantined binaries, in plan order *)

@@ -210,6 +210,90 @@ module Table2 = struct
     Buffer.contents buf
 end
 
+module Triage = struct
+  (* (config descriptor, bucket name) -> error count.  The config
+     descriptor is Options.to_string's "gcc-x64-pie-O2" form, so the keys
+     sort into compiler-major order for free. *)
+  type t = (string * string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let record ?(n = 1) t ~config ~bucket =
+    let key = (config, bucket) in
+    match Hashtbl.find_opt t key with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace t key (ref n)
+
+  let merge t (src : t) =
+    List.iter
+      (fun ((config, bucket), n) -> record ~n:!n t ~config ~bucket)
+      (sorted_bindings src)
+
+  let count t ~config ~bucket =
+    match Hashtbl.find_opt t (config, bucket) with Some r -> !r | None -> 0
+
+  let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+
+  let bucket_totals t =
+    let per_bucket = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (_, bucket) r ->
+        match Hashtbl.find_opt per_bucket bucket with
+        | Some b -> b := !b + !r
+        | None -> Hashtbl.replace per_bucket bucket (ref !r))
+      t;
+    Hashtbl.fold (fun bucket r acc -> (bucket, !r) :: acc) per_bucket []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let render t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "TRIAGE: false-positive / false-negative root causes (full FunSeeker).\n";
+    if Hashtbl.length t = 0 then
+      Buffer.add_string buf "  no identification errors recorded\n"
+    else begin
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %-24s %8s %8s\n" "config" "bucket" "count" "share%");
+      let rows = sorted_bindings t in
+      (* Share is within the config's own error population: "what fails
+         for gcc-x64-pie-O2" reads directly off the column. *)
+      let config_total c =
+        List.fold_left
+          (fun acc ((c', _), r) -> if c' = c then acc + !r else acc)
+          0 rows
+      in
+      List.iter
+        (fun ((config, bucket), r) ->
+          let tot = config_total config in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-24s %-24s %8d %7.1f%%\n" config bucket !r
+               (if tot = 0 then 0.0 else 100.0 *. float_of_int !r /. float_of_int tot)))
+        rows;
+      let all = total t in
+      List.iter
+        (fun (bucket, n) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-24s %-24s %8d %7.1f%%\n" "total" bucket n
+               (if all = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int all)))
+        (bucket_totals t);
+      Buffer.add_string buf (Printf.sprintf "  errors triaged: %d\n" all)
+    end;
+    Buffer.contents buf
+
+  (* One JSON object per (config, bucket) row, in the render's order, so
+     the dump is byte-identical across --jobs like the table itself. *)
+  let write_jsonl oc t =
+    List.iter
+      (fun ((config, bucket), r) ->
+        Printf.fprintf oc "{\"config\":\"%s\",\"bucket\":\"%s\",\"count\":%d}\n" config
+          bucket !r)
+      (sorted_bindings t);
+    List.iter
+      (fun (bucket, n) ->
+        Printf.fprintf oc "{\"config\":\"total\",\"bucket\":\"%s\",\"count\":%d}\n" bucket n)
+      (bucket_totals t)
+end
+
 module Table3 = struct
   let tools = [ "funseeker"; "ida"; "ghidra"; "fetch" ]
 

@@ -50,6 +50,34 @@ module Table2 : sig
   val render : t -> string
 end
 
+module Triage : sig
+  (** Error forensics: root-cause bucket counts for every false positive
+      and false negative, keyed by the binary's compilation configuration
+      ({!Cet_compiler.Options.to_string} form — compiler, arch, PIE, opt
+      level).  Bucket names come from
+      {!Core.Provenance.bucket_name}. *)
+
+  type t
+
+  val create : unit -> t
+  val record : ?n:int -> t -> config:string -> bucket:string -> unit
+  val merge : t -> t -> unit
+  (** Plan-order merge of per-worker partials; the rendered table and the
+      JSONL dump are byte-identical across [--jobs]. *)
+
+  val count : t -> config:string -> bucket:string -> int
+  val total : t -> int
+  (** All triaged errors (every FP and FN across the corpus). *)
+
+  val render : t -> string
+  (** Aligned rows sorted by (config, bucket) with per-config shares,
+      followed by cross-config bucket totals. *)
+
+  val write_jsonl : out_channel -> t -> unit
+  (** One [{"config","bucket","count"}] object per row, render order,
+      then the cross-config totals with config ["total"]. *)
+end
+
 module Table3 : sig
   (** Tool comparison: precision/recall per arch × suite per tool, plus
       mean per-binary analysis time for FunSeeker and FETCH. *)

@@ -23,35 +23,49 @@ let worker_sheets () =
 let render ~timing () =
   let buf = Buffer.create 2048 in
   let m = Registry.merged () in
-  Buffer.add_string buf "TELEMETRY: phase breakdown (self = exclusive of nested spans)\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  %-28s %9s %11s %11s %10s %10s %10s\n" "phase" "calls"
-       "total(ms)" "self(ms)" "mean(us)" "p50(us)" "p99(us)");
-  let q hist p =
-    match Hist.quantile hist p with Some v -> us v | None -> 0.0
-  in
-  List.iter
-    (fun (name, (metric : Registry.metric)) ->
-      let calls = Hist.count metric.hist in
-      if timing then
-        Buffer.add_string buf
-          (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10.3f %10.3f %10.3f\n" name
-             calls
-             (ms (Hist.sum metric.hist))
-             (ms (self_ns metric))
-             (us (int_of_float (Hist.mean metric.hist)))
-             (q metric.hist 0.5) (q metric.hist 0.99))
-      else
-        Buffer.add_string buf
-          (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10.3f %10.3f %10.3f\n" name
-             calls 0.0 0.0 0.0 0.0 0.0))
-    (sorted_bindings m.Registry.spans);
-  let self_sum =
-    Hashtbl.fold (fun _ metric acc -> acc + self_ns metric) m.Registry.spans 0
-  in
-  Buffer.add_string buf
-    (Printf.sprintf "  phase self-time sum: %.3f ms (worker busy time covered by spans)\n"
-       (if timing then ms self_sum else 0.0));
+  let spans = sorted_bindings m.Registry.spans in
+  (* An empty phase table is noise, not information: sessions that enabled
+     telemetry but recorded no spans (pure counter users) get no bare
+     header and no zero self-time line. *)
+  if spans <> [] then begin
+    Buffer.add_string buf "TELEMETRY: phase breakdown (self = exclusive of nested spans)\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-28s %9s %11s %11s %10s %10s %10s\n" "phase" "calls"
+         "total(ms)" "self(ms)" "mean(us)" "p50(us)" "p99(us)");
+    (* A histogram with no samples has no mean and no quantiles: render
+       [-] rather than a fabricated 0.000 (or a NaN) in those columns. *)
+    let q hist p =
+      match Hist.quantile hist p with
+      | Some v -> Printf.sprintf "%10.3f" (us v)
+      | None -> Printf.sprintf "%10s" "-"
+    in
+    List.iter
+      (fun (name, (metric : Registry.metric)) ->
+        let calls = Hist.count metric.hist in
+        if calls = 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10s %10s %10s\n" name 0
+               0.0 0.0 "-" "-" "-")
+        else if timing then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10.3f %s %s\n" name
+               calls
+               (ms (Hist.sum metric.hist))
+               (ms (self_ns metric))
+               (us (int_of_float (Hist.mean metric.hist)))
+               (q metric.hist 0.5) (q metric.hist 0.99))
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %9d %11.3f %11.3f %10.3f %10.3f %10.3f\n" name
+               calls 0.0 0.0 0.0 0.0 0.0))
+      spans;
+    let self_sum =
+      Hashtbl.fold (fun _ metric acc -> acc + self_ns metric) m.Registry.spans 0
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  phase self-time sum: %.3f ms (worker busy time covered by spans)\n"
+         (if timing then ms self_sum else 0.0))
+  end;
   let counters = sorted_bindings m.Registry.counters in
   if counters <> [] then begin
     Buffer.add_string buf "COUNTERS\n";
@@ -149,3 +163,30 @@ let write_trace oc =
       Printf.fprintf oc "{\"type\":\"gauge\",\"name\":%s,\"value\":%.6f}\n"
         (json_string name) g.g)
     (sorted_bindings m.Registry.gauges)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event format                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One complete ("ph":"X") event per recorded span, timestamps and
+   durations in microseconds as the format requires, one tid per sheet so
+   Perfetto lays workers out as parallel tracks.  Emitted as a plain JSON
+   array — the simplest of the two container layouts chrome://tracing
+   accepts. *)
+let write_trace_chrome oc =
+  output_string oc "[";
+  let first = ref true in
+  List.iter
+    (fun (s : Registry.sheet) ->
+      List.iter
+        (fun (e : Registry.event) ->
+          if !first then first := false else output_string oc ",\n";
+          Printf.fprintf oc
+            "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
+            (json_string e.ev_name)
+            (float_of_int e.ev_start_ns /. 1e3)
+            (float_of_int e.ev_dur_ns /. 1e3)
+            e.ev_sheet)
+        (List.rev s.events))
+    (Registry.sheets ());
+  output_string oc "]\n"

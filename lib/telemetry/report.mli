@@ -19,9 +19,18 @@ val self_total_ns : unit -> int
 val render : timing:bool -> unit -> string
 (** The aligned text report: phase breakdown (calls, total/self ms, mean
     and p50/p90/p99 quantiles), counters, and — when [timing] — gauges,
-    per-worker throughput, and [Gc.quickstat] numbers. *)
+    per-worker throughput, and [Gc.quickstat] numbers.  Empty sections
+    are omitted entirely (no bare headers), and a phase row with zero
+    samples renders [-] in the mean/quantile columns instead of a
+    fabricated zero. *)
 
 val write_trace : out_channel -> unit
 (** JSON-lines: one [span] object per traced event (sheet by sheet, in
     start order), then one [phase] summary per span name, then [counter]
     and [gauge] objects.  Parseable line by line. *)
+
+val write_trace_chrome : out_channel -> unit
+(** The same spans as {!write_trace} in Chrome trace-event format: a JSON
+    array of complete ([ph = "X"]) events with microsecond [ts]/[dur],
+    one [tid] per registry sheet — drop the file into chrome://tracing or
+    Perfetto to see workers as parallel tracks. *)

@@ -30,14 +30,14 @@ let test_stc_both_conditions () =
   (* jmp from f (site 150) to h (300); h is also called from g (site 250). *)
   let selected =
     FS.select_tail_calls ~candidates ~jmp_refs:[ (150, 300) ]
-      ~call_refs:[ (250, 300) ] ~text_end:400
+      ~call_refs:[ (250, 300) ] ~text_end:400 ()
   in
   check Alcotest.(list int) "selected" [ 300 ] selected
 
 let test_stc_needs_external_ref () =
   (* Only f references the target: condition (2) fails. *)
   let selected =
-    FS.select_tail_calls ~candidates ~jmp_refs:[ (150, 300) ] ~call_refs:[] ~text_end:400
+    FS.select_tail_calls ~candidates ~jmp_refs:[ (150, 300) ] ~call_refs:[] ~text_end:400 ()
   in
   check Alcotest.(list int) "nothing" [] selected
 
@@ -45,7 +45,7 @@ let test_stc_intra_function_jump () =
   (* Jump within f's own extent: condition (1) fails even with other refs. *)
   let selected =
     FS.select_tail_calls ~candidates ~jmp_refs:[ (150, 180) ]
-      ~call_refs:[ (250, 180) ] ~text_end:400
+      ~call_refs:[ (250, 180) ] ~text_end:400 ()
   in
   check Alcotest.(list int) "nothing" [] selected
 
@@ -54,7 +54,7 @@ let test_stc_two_jumping_functions () =
      referencing function. *)
   let selected =
     FS.select_tail_calls ~candidates ~jmp_refs:[ (150, 300); (250, 300) ] ~call_refs:[]
-      ~text_end:400
+      ~text_end:400 ()
   in
   check Alcotest.(list int) "selected" [ 300 ] selected
 
@@ -63,7 +63,7 @@ let test_stc_backward_target () =
      the address), with h calling f too. *)
   let selected =
     FS.select_tail_calls ~candidates ~jmp_refs:[ (250, 100) ] ~call_refs:[ (350, 100) ]
-      ~text_end:400
+      ~text_end:400 ()
   in
   check Alcotest.(list int) "selected" [ 100 ] selected
 
@@ -71,7 +71,7 @@ let test_stc_same_function_multiple_sites () =
   (* Two jump sites inside the same function do not satisfy condition 2. *)
   let selected =
     FS.select_tail_calls ~candidates ~jmp_refs:[ (150, 300); (160, 300) ] ~call_refs:[]
-      ~text_end:400
+      ~text_end:400 ()
   in
   check Alcotest.(list int) "nothing" [] selected
 

@@ -261,6 +261,59 @@ let test_stats_identical_across_jobs () =
       check Alcotest.bool "analysis spans present" true
         (contains seq "funseeker.analyze"))
 
+(* ------------------------------------------------------------------ *)
+(* Report edge cases and the chrome trace writer                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A phase with zero samples (merged from a sheet that created the metric
+   but never closed a span) must render [-] in the mean/quantile columns,
+   not a fabricated 0.000. *)
+let test_render_zero_sample_phase () =
+  with_clean_registry (fun () ->
+      Registry.enable ();
+      Hashtbl.replace (Registry.ambient ()).Registry.spans "ghost.phase"
+        { Registry.hist = Hist.create (); child_ns = 0 };
+      let out = Report.render ~timing:true () in
+      check Alcotest.bool "phase row present" true (contains out "ghost.phase");
+      check Alcotest.bool "quantile columns render '-'" true
+        (contains out "-          -          -"))
+
+(* No spans at all: the phase table (header and self-time line) must be
+   omitted entirely, not rendered bare. *)
+let test_render_omits_empty_phase_table () =
+  with_clean_registry (fun () ->
+      Registry.enable ();
+      Registry.count "lonely.counter";
+      let out = Report.render ~timing:true () in
+      check Alcotest.bool "no bare phase header" false
+        (contains out "phase breakdown");
+      check Alcotest.bool "no self-time line" false (contains out "self-time sum");
+      check Alcotest.bool "counters still render" true
+        (contains out "lonely.counter"))
+
+let test_chrome_trace () =
+  with_clean_registry (fun () ->
+      Registry.enable ~trace:true ();
+      Span.with_ ~name:"outer" (fun () -> Span.with_ ~name:"inner" (fun () -> ()));
+      let path = Filename.temp_file "cet-trace" ".json" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> Report.write_trace_chrome oc);
+          let ic = open_in path in
+          let body =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          check Alcotest.bool "starts as a JSON array" true (String.length body > 0 && body.[0] = '[');
+          check Alcotest.bool "complete events" true (contains body "\"ph\":\"X\"");
+          check Alcotest.bool "microsecond timestamps" true (contains body "\"ts\":");
+          check Alcotest.bool "span names survive" true (contains body "\"name\":\"inner\"");
+          check Alcotest.bool "array is closed" true
+            (String.length body >= 2 && body.[String.length body - 2] = ']')))
+
 let suite =
   [
     ( "telemetry",
@@ -279,5 +332,10 @@ let suite =
         Alcotest.test_case "span: exception closes" `Quick test_span_exception_closes;
         Alcotest.test_case "report: byte-identical across jobs" `Quick
           test_stats_identical_across_jobs;
+        Alcotest.test_case "report: zero-sample phase renders '-'" `Quick
+          test_render_zero_sample_phase;
+        Alcotest.test_case "report: empty phase table omitted" `Quick
+          test_render_omits_empty_phase_table;
+        Alcotest.test_case "trace: chrome format" `Quick test_chrome_trace;
       ] );
   ]
