@@ -13,16 +13,16 @@ bench:
 
 # Machine-readable benchmark results for the perf trajectory: one
 # BENCH_<n>.json per PR (N is the PR number).
-N ?= 2
+N ?= 6
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_$(N).json
 
 # Perf gate between PRs: compare two BENCH_<n>.json files and fail on any
-# named test that regressed by more than 20%.
-OLD ?= BENCH_2.json
-NEW ?= BENCH_3.json
+# named test that regressed by more than 20% — or vanished (--require-all).
+OLD ?= BENCH_5.json
+NEW ?= BENCH_6.json
 bench-diff:
-	dune exec bin/bench_diff.exe -- $(OLD) $(NEW)
+	dune exec bin/bench_diff.exe -- --require-all $(OLD) $(NEW)
 
 check:
 	dune build @check

@@ -172,6 +172,31 @@ let bench_substrates =
              (Cet_corpus.Generator.program ~seed:7 ~profile:micro_corpus_profile ~index:0)));
   ]
 
+(* The SWAR prescan kernels themselves, with a memcpy row as the
+   throughput yardstick (the human output prints GB/s over the same
+   [.text]), so future sweep changes are gated on the kernel and not only
+   on the end-to-end analyses that amortise it. *)
+let spec_text =
+  match Reader.find_section spec_bin.w_reader ".text" with
+  | Some s -> s.Reader.data
+  | None -> assert false
+
+let bench_kernels =
+  let arch = Cet_x86.Arch.X64 in
+  [
+    Test.make ~name:"kernel/prescan-classes(spec)"
+      (stage (fun () -> Cet_disasm.Prescan.classes spec_text));
+    Test.make ~name:"kernel/anchor-offsets-swar(spec)"
+      (stage (fun () -> Cet_disasm.Prescan.anchor_offsets arch spec_text));
+    Test.make ~name:"kernel/anchor-offsets-naive(spec)"
+      (stage (fun () -> Linear.anchor_offsets_naive arch spec_text));
+    Test.make ~name:"kernel/scan-indexes(spec)"
+      (stage (fun () ->
+           Cet_disasm.Substrate.indexes (Cet_disasm.Substrate.create spec_bin.w_reader)));
+    Test.make ~name:"kernel/memcpy(spec)"
+      (stage (fun () -> Bytes.of_string spec_text));
+  ]
+
 (* The substrate's raison d'être: one binary through FunSeeker and the
    three Table III baselines, with each tool re-deriving every per-binary
    fact (legacy entry points, one fresh substrate per call) vs all four
@@ -239,8 +264,8 @@ let bench_telemetry =
 
 let all_tests =
   [ bench_table1; bench_fig3 ] @ bench_table2 @ bench_table3 @ bench_ablations
-  @ bench_arm @ bench_consumers @ bench_substrates @ bench_substrate_sharing
-  @ bench_parallel_harness @ bench_telemetry
+  @ bench_arm @ bench_consumers @ bench_substrates @ bench_kernels
+  @ bench_substrate_sharing @ bench_parallel_harness @ bench_telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
@@ -327,8 +352,21 @@ let () =
     clang_x86_bin.w_name
     (List.length clang_x86_bin.w_truth);
   let results = run_benchmarks ~quota:!quota tests in
+  (* Kernel rows get a bytes/s column: they all stream the same spec
+     [.text], so the throughput is directly comparable to the memcpy row. *)
+  let text_bytes = float_of_int (String.length spec_text) in
   List.iter
-    (fun r -> Printf.printf "  %-38s %s/run  (%d runs)\n" r.r_name (human r.r_ns) r.r_runs)
+    (fun r ->
+      let throughput =
+        if
+          String.length r.r_name >= 7
+          && String.sub r.r_name 0 7 = "kernel/"
+          && r.r_ns > 0.0
+        then Printf.sprintf "  %7.2f GB/s" (text_bytes /. r.r_ns)
+        else ""
+      in
+      Printf.printf "  %-38s %s/run  (%d runs)%s\n" r.r_name (human r.r_ns) r.r_runs
+        throughput)
     results;
   let find n = List.find_map (fun r -> if r.r_name = n then Some r.r_ns else None) results in
   (* §V-D headline: the FunSeeker / FETCH ratio on FDE-carrying binaries. *)

@@ -3,85 +3,57 @@
    than the threshold (default 20%) fails the diff, and the exit status
    says so — `make bench-diff` is the perf gate between PRs.
 
-   The parser reads exactly the format bench/main.ml's write_json emits
-   (one {"name", "mean_ns", "runs"} object per line); it is deliberately
-   not a JSON library.  Duplicate names (an artifact of older files where
-   the parallel-harness bench could emit two jobs=1 rows) keep their first
-   occurrence, with a warning. *)
+   With --require-all (on in `make bench-diff`) a test present in OLD but
+   missing from NEW also fails: a renamed or dropped benchmark must not
+   silently vanish from the gate.
 
-type row = { name : string; mean_ns : float }
+   Parsing and diffing live in Cet_util.Bench_rows so the key-matching
+   rules are unit-tested; this file is argv + I/O + rendering. *)
 
-let find_sub s sub =
-  let nl = String.length s and sl = String.length sub in
-  let rec go i = if i + sl > nl then None else if String.sub s i sl = sub then Some i else go (i + 1) in
-  go 0
+module B = Cet_util.Bench_rows
 
-(* The value of a "key": field on this line, up to the next comma/brace. *)
-let field line key =
-  match find_sub line (Printf.sprintf "\"%s\":" key) with
-  | None -> None
-  | Some i ->
-    let start = i + String.length key + 3 in
-    let rec skip j = if j < String.length line && line.[j] = ' ' then skip (j + 1) else j in
-    let start = skip start in
-    let stop = ref start in
-    while
-      !stop < String.length line
-      && (match line.[!stop] with ',' | '}' | '\n' -> false | _ -> true)
-    do
-      incr stop
-    done;
-    Some (String.trim (String.sub line start (!stop - start)))
-
-let unquote s =
-  let n = String.length s in
-  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
-
-let parse_file path =
+let read_lines path =
   let ic =
     try open_in path
     with Sys_error e ->
       Printf.eprintf "bench-diff: cannot open %s: %s\n" path e;
       exit 2
   in
-  let rows = ref [] in
-  let seen = Hashtbl.create 64 in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      try
-        while true do
-          let line = input_line ic in
-          match (field line "name", field line "mean_ns") with
-          | Some name, Some ns -> (
-            let name = unquote name in
-            match float_of_string_opt ns with
-            | None -> ()
-            | Some mean_ns ->
-              if Hashtbl.mem seen name then
-                Printf.eprintf "bench-diff: %s: duplicate test %S ignored\n" path name
-              else begin
-                Hashtbl.replace seen name ();
-                rows := { name; mean_ns } :: !rows
-              end)
-          | _ -> ()
-        done
-      with End_of_file -> ());
-  List.rev !rows
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let parse_file path =
+  let rows, dups = B.parse_lines (read_lines path) in
+  List.iter
+    (fun name -> Printf.eprintf "bench-diff: %s: duplicate test %S ignored\n" path name)
+    dups;
+  rows
 
 let () =
   let threshold = ref 20.0 in
+  let require_all = ref false in
   let files = ref [] in
   let speclist =
     [
       ( "--threshold",
         Arg.Set_float threshold,
         "PCT  regression threshold in percent (default 20)" );
+      ( "--require-all",
+        Arg.Set require_all,
+        " fail when a test present in OLD is missing from NEW" );
     ]
   in
   Arg.parse speclist
     (fun a -> files := a :: !files)
-    "bench_diff [--threshold PCT] OLD.json NEW.json";
+    "bench_diff [--threshold PCT] [--require-all] OLD.json NEW.json";
   let old_path, new_path =
     match List.rev !files with
     | [ o; n ] -> (o, n)
@@ -90,37 +62,36 @@ let () =
       exit 2
   in
   let old_rows = parse_file old_path and new_rows = parse_file new_path in
-  let old_tbl = Hashtbl.create 64 in
-  List.iter (fun r -> Hashtbl.replace old_tbl r.name r.mean_ns) old_rows;
-  let regressions = ref 0 and improved = ref 0 and compared = ref 0 in
-  Printf.printf "bench-diff: %s -> %s (threshold %.0f%%)\n" old_path new_path !threshold;
+  let report = B.diff ~threshold:!threshold old_rows new_rows in
+  Printf.printf "bench-diff: %s -> %s (threshold %.0f%%)\n" old_path new_path
+    !threshold;
   List.iter
-    (fun r ->
-      match Hashtbl.find_opt old_tbl r.name with
-      | None -> ()
-      | Some old_ns when old_ns > 0.0 && r.mean_ns > 0.0 ->
-        incr compared;
-        let pct = (r.mean_ns -. old_ns) /. old_ns *. 100.0 in
-        let mark =
-          if pct > !threshold then begin
-            incr regressions;
-            "REGRESSION"
-          end
-          else if pct < -.(!threshold) then begin
-            incr improved;
-            "improved"
-          end
-          else ""
-        in
-        Printf.printf "  %-42s %10.3f ms -> %10.3f ms  %+7.1f%%  %s\n" r.name
-          (old_ns /. 1e6) (r.mean_ns /. 1e6) pct mark
-      | Some _ -> ())
-    new_rows;
-  let new_tbl = Hashtbl.create 64 in
-  List.iter (fun r -> Hashtbl.replace new_tbl r.name ()) new_rows;
-  let only rows other = List.length (List.filter (fun r -> not (Hashtbl.mem other r.name)) rows) in
+    (fun (c : B.comparison) ->
+      let mark =
+        if c.B.c_pct > !threshold then "REGRESSION"
+        else if c.B.c_pct < -.(!threshold) then "improved"
+        else ""
+      in
+      Printf.printf "  %-42s %10.3f ms -> %10.3f ms  %+7.1f%%  %s\n" c.B.c_name
+        (c.B.c_old_ns /. 1e6) (c.B.c_new_ns /. 1e6) c.B.c_pct mark)
+    report.B.compared;
+  List.iter
+    (fun name ->
+      Printf.printf "  %-42s %s\n" name
+        (if !require_all then "MISSING from new file" else "(only in old file)"))
+    report.B.missing;
   Printf.printf
     "compared %d tests: %d regressed beyond %.0f%%, %d improved beyond it (%d only in %s, %d only in %s)\n"
-    !compared !regressions !threshold !improved (only old_rows new_tbl) old_path
-    (only new_rows old_tbl) new_path;
-  if !regressions > 0 then exit 1
+    (List.length report.B.compared)
+    report.B.regressed !threshold report.B.improved
+    (List.length report.B.missing)
+    old_path
+    (List.length report.B.added)
+    new_path;
+  if report.B.regressed > 0 then exit 1;
+  if !require_all && report.B.missing <> [] then begin
+    Printf.eprintf "bench-diff: %d test(s) missing from %s (--require-all)\n"
+      (List.length report.B.missing)
+      new_path;
+    exit 1
+  end

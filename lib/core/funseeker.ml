@@ -158,7 +158,7 @@ let filter_endbr ?diag ?st ?prov reader ~(ix : Substrate.indexes) ~filtered_ir ~
   Array.sub keep 0 !n
 
 (* SELECTTAILCALL over the jump set, returning the selected count too. *)
-let select_phase ?prov (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candidates =
+let select_phase ?prov (fx : Substrate.facts) ~(ix : Substrate.indexes) ~base_candidates =
   let jmp_refs =
     List.init (Array.length ix.Substrate.jmp_sites) (fun k ->
         (ix.Substrate.jmp_sites.(k), ix.Substrate.jmp_tgts.(k)))
@@ -166,7 +166,7 @@ let select_phase ?prov (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candid
   let call_refs = ref [] in
   for k = Array.length ix.Substrate.call_sites - 1 downto 0 do
     let target = ix.Substrate.call_tgts.(k) in
-    if Linear.in_range sweep target then
+    if Substrate.in_text fx target then
       call_refs := (ix.Substrate.call_sites.(k), target) :: !call_refs
   done;
   let on_vote =
@@ -189,7 +189,7 @@ let select_phase ?prov (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candid
     select_tail_calls ?on_vote
       ~candidates:(Array.to_list base_candidates)
       ~jmp_refs ~call_refs:!call_refs
-      ~text_end:(sweep.base + sweep.size) ()
+      ~text_end:(Substrate.text_end fx) ()
   in
   (match prov with
   | None -> ()
@@ -197,10 +197,12 @@ let select_phase ?prov (sweep : Linear.t) ~(ix : Substrate.indexes) ~base_candid
   ( Linear.merge_sorted_dedup base_candidates (Array.of_list selected),
     List.length selected )
 
-(* The analysis core over a sweep plus its (possibly memoised) index
-   arrays.  Everything here is set algebra on sorted int arrays; the only
-   per-call allocations are the merged candidate arrays themselves. *)
-let analyze_ix_impl ?diag ?st ?prov config reader (sweep : Linear.t) (ix : Substrate.indexes) =
+(* The analysis core over the sweep-level facts plus the (possibly
+   memoised) index arrays.  Note what is *not* here: the instruction
+   stream.  Everything is set algebra on sorted int arrays, so the
+   substrate can feed this from its stream-free scan; the only per-call
+   allocations are the merged candidate arrays themselves. *)
+let analyze_ix_impl ?diag ?st ?prov config reader (fx : Substrate.facts) (ix : Substrate.indexes) =
   let filtered_ir = ref 0 and filtered_lp = ref 0 in
   let endbrs' =
     if not config.filter_endbr then ix.Substrate.endbrs
@@ -221,8 +223,8 @@ let analyze_ix_impl ?diag ?st ?prov config reader (sweep : Linear.t) (ix : Subst
       let fns, n =
         if Span.enabled () then
           Span.with_ ~name:"funseeker.select_tailcall" (fun () ->
-              select_phase ?prov sweep ~ix ~base_candidates)
-        else select_phase ?prov sweep ~ix ~base_candidates
+              select_phase ?prov fx ~ix ~base_candidates)
+        else select_phase ?prov fx ~ix ~base_candidates
       in
       tail_selected := n;
       fns
@@ -237,7 +239,7 @@ let analyze_ix_impl ?diag ?st ?prov config reader (sweep : Linear.t) (ix : Subst
       call_target_count = Array.length ix.Substrate.call_targets;
       jump_target_count = Array.length ix.Substrate.jmp_targets;
       tail_calls_selected = !tail_selected;
-      resync_errors = sweep.resync_errors;
+      resync_errors = fx.Substrate.f_resync_errors;
     }
   in
   if Span.enabled () then begin
@@ -261,7 +263,8 @@ let collect_indexes sweep =
   else Substrate.indexes_of_sweep sweep
 
 let analyze_sweep_impl ?diag config reader (sweep : Linear.t) =
-  analyze_ix_impl ?diag config reader sweep (collect_indexes sweep)
+  analyze_ix_impl ?diag config reader (Substrate.facts_of_sweep sweep)
+    (collect_indexes sweep)
 
 let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
   if Span.enabled () then
@@ -269,14 +272,18 @@ let analyze_sweep ?(config = default_config) reader (sweep : Linear.t) =
         analyze_sweep_impl config reader sweep)
   else analyze_sweep_impl config reader sweep
 
+(* The substrate path never touches the instruction stream: [facts] and
+   [indexes] both come from the substrate's stream-free scan (or from an
+   already-memoised sweep, identically), so FunSeeker's DISASSEMBLE phase
+   allocates no per-instruction records at all. *)
 let analyze_st_impl config anchored st =
-  let sweep = if anchored then Substrate.sweep_anchored st else Substrate.sweep st in
   let ix =
     if Span.enabled () then
       Span.with_ ~name:"funseeker.collect" (fun () -> Substrate.indexes ~anchored st)
     else Substrate.indexes ~anchored st
   in
-  analyze_ix_impl ~st config (Substrate.reader st) sweep ix
+  let fx = Substrate.facts ~anchored st in
+  analyze_ix_impl ~st config (Substrate.reader st) fx ix
 
 let analyze_st ?(config = default_config) ?(anchored = false) st =
   if Span.enabled () then
@@ -292,11 +299,11 @@ let analyze ?(config = default_config) ?(anchored = false) reader =
    are facts about the binary, so they are recorded up front whatever the
    configuration; the filter decisions and tail-call votes are recorded by
    the phases the configuration actually runs. *)
-let record_sources prov sweep (ix : Substrate.indexes) =
+let record_sources prov (fx : Substrate.facts) (ix : Substrate.indexes) =
   Array.iter (Provenance.record_endbr prov) ix.Substrate.endbrs;
   Array.iteri
     (fun k target ->
-      if Linear.in_range sweep target then
+      if Substrate.in_text fx target then
         Provenance.record_call prov ~site:ix.Substrate.call_sites.(k) ~target)
     ix.Substrate.call_tgts;
   Array.iter (Provenance.mark_call_target prov) ix.Substrate.call_targets;
@@ -307,10 +314,10 @@ let record_sources prov sweep (ix : Substrate.indexes) =
 
 let analyze_prov ?(config = default_config) ?(anchored = false) st =
   let prov = Provenance.create () in
-  let sweep = if anchored then Substrate.sweep_anchored st else Substrate.sweep st in
   let ix = Substrate.indexes ~anchored st in
-  record_sources prov sweep ix;
-  let r = analyze_ix_impl ~st ~prov config (Substrate.reader st) sweep ix in
+  let fx = Substrate.facts ~anchored st in
+  record_sources prov fx ix;
+  let r = analyze_ix_impl ~st ~prov config (Substrate.reader st) fx ix in
   List.iter (Provenance.mark_kept prov) r.functions;
   (r, prov)
 
@@ -323,10 +330,14 @@ module Diag = Cet_util.Diag
 
 let analyze_diag ?(config = default_config) ?(anchored = false) reader =
   let diag = Diag.Collector.create () in
+  (* A private substrate for the scan products only: the substrate is not
+     passed down, so the robust landing-pad path (degradation semantics
+     via [Parse.landing_pads_diag]) is unchanged. *)
+  let st = Substrate.create reader in
   let result =
-    match Cet_disasm.Linear.(if anchored then sweep_text_anchored else sweep_text) reader with
-    | sweep -> (
-      try analyze_sweep_impl ~diag config reader sweep
+    match Substrate.facts ~anchored st with
+    | fx -> (
+      try analyze_ix_impl ~diag config reader fx (Substrate.indexes ~anchored st)
       with Cet_util.Deadline.Expired { what; seconds } ->
         Diag.Collector.addf diag ~severity:Diag.Error ~domain:"core" ~code:"timeout"
           "analysis exceeded the %gs budget (in %s)" seconds what;

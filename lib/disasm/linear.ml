@@ -39,16 +39,14 @@ let buf_contents b = Array.sub b.arr 0 b.len
    size/4 makes a doubling copy rare without over-reserving tiny regions. *)
 let buf_hint size = (size / 4) + 16
 
-let sweep_impl arch base code =
+(* The byte-at-a-time sweep over [Decoder.decode]: the differential-testing
+   oracle for the scratch-core rewrite below.  Kept verbatim. *)
+let sweep_reference_impl arch base code =
   let size = String.length code in
   let insns = buf_create (buf_hint size) in
   let errors = ref 0 in
   let off = ref 0 in
   let tick = ref 0 in
-  (* [resync_errors] counts desynchronisation events, not undecodable
-     bytes: a 40-byte inline-data run the sweep has to skip through is one
-     resynchronisation, so the counter tracks how often the sweep lost the
-     instruction stream. *)
   let desynced = ref false in
   while !off < size do
     incr tick;
@@ -62,6 +60,36 @@ let sweep_impl arch base code =
       if not !desynced then incr errors;
       desynced := true;
       incr off
+  done;
+  { arch; base; size; code; insns = buf_contents insns; resync_errors = !errors }
+
+let sweep_reference arch ?(base = 0) code = sweep_reference_impl arch base code
+
+let sweep_impl arch base code =
+  let size = String.length code in
+  let insns = buf_create (buf_hint size) in
+  let errors = ref 0 in
+  let off = ref 0 in
+  let tick = ref 0 in
+  (* [resync_errors] counts desynchronisation events, not undecodable
+     bytes: a 40-byte inline-data run the sweep has to skip through is one
+     resynchronisation, so the counter tracks how often the sweep lost the
+     instruction stream. *)
+  let desynced = ref false in
+  let s = Decoder.scratch () in
+  while !off < size do
+    incr tick;
+    if !tick land deadline_mask = 0 then Cet_util.Deadline.check "disasm.sweep";
+    if Decoder.scan arch s code ~limit:size ~base ~off:!off then begin
+      desynced := false;
+      buf_push insns (Decoder.scratch_ins s);
+      off := !off + Decoder.scratch_len s
+    end
+    else begin
+      if not !desynced then incr errors;
+      desynced := true;
+      incr off
+    end
   done;
   { arch; base; size; code; insns = buf_contents insns; resync_errors = !errors }
 
@@ -79,8 +107,11 @@ let sweep_text reader =
 
 (* Offsets of every end-branch byte pattern: F3 0F 1E FA/FB.  The pattern
    cannot appear inside another instruction's opcode bytes the compilers
-   emit, and a false hit inside immediate data merely adds a resync point. *)
-let anchor_offsets arch code =
+   emit, and a false hit inside immediate data merely adds a resync point.
+
+   [anchor_offsets_naive] is the per-byte oracle; production callers use
+   the SWAR scan in {!Prescan}. *)
+let anchor_offsets_naive arch code =
   let want = match arch with Arch.X64 -> '\xfa' | Arch.X86 -> '\xfb' in
   let out = ref [] in
   let n = String.length code in
@@ -90,11 +121,15 @@ let anchor_offsets arch code =
       && code.[i + 3] = want
     then out := i :: !out
   done;
-  !out
+  Array.of_list !out
 
-let sweep_anchored_impl arch base code =
+let anchor_offsets = Prescan.anchor_offsets
+
+(* Anchored-sweep oracle: the original trust-tracking loop, decoding every
+   byte position even inside untrusted runs. *)
+let sweep_anchored_reference_impl arch base code =
   let size = String.length code in
-  let anchors = Array.of_list (anchor_offsets arch code) in
+  let anchors = anchor_offsets_naive arch code in
   let nanchors = Array.length anchors in
   (* First anchor index >= off; [anchors] is sorted ascending, so the same
      binary search answers both "next anchor after" and membership. *)
@@ -146,6 +181,65 @@ let sweep_anchored_impl arch base code =
       if !trusted then incr errors;
       trusted := false;
       incr off
+  done;
+  { arch; base; size; code; insns = buf_contents insns; resync_errors = !errors }
+
+let sweep_anchored_reference arch ?(base = 0) code =
+  sweep_anchored_reference_impl arch base code
+
+(* Production anchored sweep: scratch-core decode plus prescan-driven
+   resynchronisation.  The reference loop's untrusted runs decode every
+   byte position while withholding the (garbage) instructions and counting
+   no further errors — observationally they only move [off] to the next
+   anchor.  An untrusted decode can never skip past an anchor (an Ok that
+   would straddle one jumps *to* it, an error advances one byte), so the
+   rewrite jumps straight there: inline-data runs cost a binary search
+   instead of a decode per byte.  A consequence worth stating: [trusted]
+   is always true at the top of this loop, which is why the flag itself
+   has disappeared. *)
+let sweep_anchored_impl arch base code =
+  let size = String.length code in
+  let anchors = Prescan.anchor_offsets arch code in
+  let nanchors = Array.length anchors in
+  let anchor_lower_bound off =
+    let lo = ref 0 and hi = ref nanchors in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if anchors.(mid) < off then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (* First anchor strictly after [off], or [size] when none. *)
+  let next_anchor_or_end off =
+    let i = anchor_lower_bound (off + 1) in
+    if i < nanchors then anchors.(i) else size
+  in
+  let insns = buf_create (buf_hint size) in
+  let errors = ref 0 in
+  let off = ref 0 in
+  let tick = ref 0 in
+  let s = Decoder.scratch () in
+  while !off < size do
+    incr tick;
+    if !tick land deadline_mask = 0 then Cet_util.Deadline.check "disasm.sweep_anchored";
+    if Decoder.scan arch s code ~limit:size ~base ~off:!off then begin
+      let stop = !off + Decoder.scratch_len s in
+      let a = next_anchor_or_end !off in
+      if a < stop then begin
+        (* Straddles an end-branch marker: desynchronised (inline data) —
+           one resync event, restart at the anchor. *)
+        incr errors;
+        off := a
+      end
+      else begin
+        buf_push insns (Decoder.scratch_ins s);
+        off := stop
+      end
+    end
+    else begin
+      incr errors;
+      off := next_anchor_or_end !off
+    end
   done;
   { arch; base; size; code; insns = buf_contents insns; resync_errors = !errors }
 

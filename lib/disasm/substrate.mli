@@ -36,6 +36,18 @@ type indexes = {
   jmp_targets : int array;  (** distinct in-range jump targets, sorted *)
 }
 
+type facts = {
+  f_base : int;  (** virtual address of the first [.text] byte *)
+  f_size : int;  (** [.text] size in bytes *)
+  f_resync_errors : int;
+      (** desynchronisation events, exactly {!Linear.t.resync_errors} of
+          the corresponding sweep *)
+}
+(** The sweep-level facts FunSeeker's analysis needs — deliberately not
+    the instruction stream.  Computed either from a memoised sweep or by
+    the stream-free scratch-core scan (which never materialises
+    instruction records at all); the two agree exactly. *)
+
 type t
 
 val create : Cet_elf.Reader.t -> t
@@ -55,12 +67,30 @@ val sweep_anchored : t -> Linear.t
 (** The end-branch-anchored sweep, memoised independently of {!sweep}. *)
 
 val indexes : ?anchored:bool -> t -> indexes
-(** The derived index arrays of {!sweep} (or {!sweep_anchored}), built in
-    one pass on first call. *)
+(** The derived index arrays of the (plain or anchored) sweep.  When the
+    corresponding sweep is already memoised they are built in one pass
+    over its instruction stream; otherwise the SWAR-prescanned
+    scratch-core scan produces them directly from the code bytes, never
+    materialising the stream — the results are identical either way. *)
 
 val indexes_of_sweep : Linear.t -> indexes
 (** Build the index arrays for a sweep outside any substrate — the legacy
     [analyze_sweep] entry points use this. *)
+
+val facts : ?anchored:bool -> t -> facts
+(** The sweep-level facts, memoised like {!indexes} and produced by the
+    same scan when no sweep is cached.  Raises [Invalid_argument] when
+    the image has no [.text] (like {!sweep}). *)
+
+val facts_of_sweep : Linear.t -> facts
+(** Project the facts out of an existing sweep. *)
+
+val in_text : facts -> int -> bool
+(** Is the address inside the swept region?  ({!Linear.in_range} at the
+    facts level.) *)
+
+val text_end : facts -> int
+(** [f_base + f_size]. *)
 
 val landing_pads : t -> int array
 (** Exception-handler landing pads from [.eh_frame] + [.gcc_except_table],

@@ -45,3 +45,13 @@ let decode ~vaddr data =
       let loc = R.i32 r in
       let fde = R.i32 r in
       { initial_loc = vaddr + loc; fde_addr = vaddr + fde })
+
+let decode_result ~vaddr data =
+  match decode ~vaddr data with
+  | entries -> Ok entries
+  | exception Invalid_argument msg ->
+    Error (Cet_util.Diag.error ~domain:"eh" ~code:"eh-frame-hdr-malformed" msg)
+  | exception R.Out_of_bounds what ->
+    Error
+      (Cet_util.Diag.makef ~severity:Cet_util.Diag.Error ~domain:"eh"
+         ~code:"eh-frame-hdr-truncated" ".eh_frame_hdr truncated (%s)" what)

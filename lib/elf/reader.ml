@@ -10,6 +10,7 @@ type section = {
   entsize : int;
   addralign : int;
   data : string;
+  file_off : int;
 }
 
 type t = {
@@ -18,6 +19,7 @@ type t = {
   pie : bool;
   entry : int;
   sections : section list;
+  image : string;
 }
 
 exception Malformed of string
@@ -149,16 +151,19 @@ let read_impl ~lenient ~diag bytes =
                | Some stop -> String.sub shstr name_off (stop - name_off)
                | None -> ""
            in
-           let data, size =
-             if sh_type = Consts.sht_nobits then ("", size)
+           (* [file_off] records where the payload lives in the raw image
+              (zero-copy consumers read it there); -1 when there is no
+              backing slice (SHT_NOBITS, dropped payloads). *)
+           let data, size, file_off =
+             if sh_type = Consts.sht_nobits then ("", size, -1)
              else if in_bounds len offset size then
                if lenient && size > section_size_cap then begin
                  soft ~severity:Cet_util.Diag.Error ~code:"resource-limit"
                    "section %S: %d bytes exceeds the %d-byte cap; payload dropped"
                    name size section_size_cap;
-                 ("", 0)
+                 ("", 0, -1)
                end
-               else (String.sub bytes offset size, size)
+               else (String.sub bytes offset size, size, offset)
              else if not lenient then fail "section overflow"
              else begin
                (* Clamp to the bytes that exist. *)
@@ -168,12 +173,12 @@ let read_impl ~lenient ~diag bytes =
                soft ~code:"section-clamp"
                  "section %S: declared [%d, +%d) exceeds the %d-byte file; kept %d bytes"
                  name offset size len kept;
-               (String.sub bytes off' kept, kept)
+               (String.sub bytes off' kept, kept, off')
              end
            in
-           { name; sh_type; flags; vaddr; size; entsize; addralign; data })
+           { name; sh_type; flags; vaddr; size; entsize; addralign; data; file_off })
   in
-  { arch; machine; pie = e_type = Consts.et_dyn; entry; sections }
+  { arch; machine; pie = e_type = Consts.et_dyn; entry; sections; image = bytes }
 
 let read_exn bytes =
   read_impl ~lenient:false ~diag:(Cet_util.Diag.Collector.create ()) bytes
@@ -217,6 +222,14 @@ let pie t = t.pie
 let entry t = t.entry
 let sections t = t.sections
 let find_section t name = List.find_opt (fun s -> s.name = name) t.sections
+let image t = t.image
+
+(* Zero-copy payload access: the (string, pos, len) triple locating the
+   section's bytes without the [data] sub-string.  Falls back to [data]
+   itself when the payload has no backing slice in the image. *)
+let section_view t s =
+  if s.file_off >= 0 then (t.image, s.file_off, String.length s.data)
+  else (s.data, 0, String.length s.data)
 
 let parse_symtab t ~symtab ~strtab =
   match (find_section t symtab, find_section t strtab) with

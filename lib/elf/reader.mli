@@ -11,6 +11,10 @@ type section = {
   entsize : int;
   addralign : int;
   data : string;
+  file_off : int;
+      (** byte offset of the payload in the raw image, so hot paths can
+          read it in place (see {!section_view}); [-1] when the payload
+          has no backing slice (SHT_NOBITS, dropped/oversized payloads) *)
 }
 
 type t
@@ -42,6 +46,18 @@ val pie : t -> bool
 val entry : t -> int
 val sections : t -> section list
 val find_section : t -> string -> section option
+
+val image : t -> string
+(** The raw file bytes the reader parsed — the backing store of every
+    [file_off]. *)
+
+val section_view : t -> section -> string * int * int
+(** [section_view t s] is [(buf, pos, len)] such that the section payload
+    is [buf.[pos .. pos+len-1]] — the raw image slice when one backs the
+    section (no copy), [s.data] itself otherwise.  The SWAR prescan and
+    the scratch-core sweep consume sections through this instead of
+    [data]. *)
+
 val symbols : t -> Symbol.t list
 (** [.symtab] contents (empty for stripped binaries). *)
 

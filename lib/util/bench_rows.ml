@@ -1,0 +1,137 @@
+(* Parser and differ for the benchmark harness's BENCH_<n>.json files.
+
+   The format is exactly what bench/main.ml's write_json emits — one
+   {"name": ..., "mean_ns": ..., "runs": ...} object per line — so this is
+   deliberately a line-oriented scanner, not a JSON library.  What it must
+   NOT do is match keys by raw substring: a key-shaped token can appear
+   inside a longer key ("filename" contains "name") or inside a quoted
+   value, and the old scanner in bin/bench_diff.ml silently picked those
+   up, corrupting the row name and letting the regression gate compare the
+   wrong tests. *)
+
+type row = { name : string; mean_ns : float; runs : int }
+
+(* The value of a top-level "key": field on [line], or None.
+
+   Token boundary rule: the previous non-blank byte before the key's
+   opening quote must be '{' or ',' (or the key must open the line).  That
+   rejects matches inside a longer key (preceded by a letter) and inside a
+   quoted value (preceded by '\\' or other string content). *)
+let field line key =
+  let n = String.length line in
+  let tok = Printf.sprintf "\"%s\":" key in
+  let tl = String.length tok in
+  let boundary_before i =
+    let rec prev j =
+      if j < 0 then true
+      else
+        match line.[j] with
+        | ' ' | '\t' -> prev (j - 1)
+        | '{' | ',' -> true
+        | _ -> false
+    in
+    prev (i - 1)
+  in
+  let rec find i =
+    if i + tl > n then None
+    else if String.sub line i tl = tok && boundary_before i then Some (i + tl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let rec skip j = if j < n && line.[j] = ' ' then skip (j + 1) else j in
+    let start = skip start in
+    let stop = ref start in
+    while
+      !stop < n && (match line.[!stop] with ',' | '}' | '\n' -> false | _ -> true)
+    do
+      incr stop
+    done;
+    Some (String.trim (String.sub line start (!stop - start)))
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+let parse_line line =
+  match (field line "name", field line "mean_ns") with
+  | Some name, Some ns -> (
+    match float_of_string_opt ns with
+    | None -> None
+    | Some mean_ns ->
+      let runs =
+        match field line "runs" with
+        | Some r -> ( match int_of_string_opt r with Some v -> v | None -> 0)
+        | None -> 0
+      in
+      Some { name = unquote name; mean_ns; runs })
+  | _ -> None
+
+let parse_lines lines =
+  (* Duplicate names (an artifact of older files where the parallel-harness
+     bench could emit two jobs=1 rows) keep their first occurrence. *)
+  let seen = Hashtbl.create 64 in
+  let rows = ref [] and dups = ref [] in
+  List.iter
+    (fun line ->
+      match parse_line line with
+      | None -> ()
+      | Some r ->
+        if Hashtbl.mem seen r.name then dups := r.name :: !dups
+        else begin
+          Hashtbl.replace seen r.name ();
+          rows := r :: !rows
+        end)
+    lines;
+  (List.rev !rows, List.rev !dups)
+
+type comparison = {
+  c_name : string;
+  c_old_ns : float;
+  c_new_ns : float;
+  c_pct : float;
+}
+
+type report = {
+  compared : comparison list;
+  regressed : int;
+  improved : int;
+  missing : string list;
+  added : string list;
+}
+
+let diff ~threshold old_rows new_rows =
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace old_tbl r.name r.mean_ns) old_rows;
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace new_tbl r.name ()) new_rows;
+  let compared = ref [] and regressed = ref 0 and improved = ref 0 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt old_tbl r.name with
+      | Some old_ns when old_ns > 0.0 && r.mean_ns > 0.0 ->
+        let pct = (r.mean_ns -. old_ns) /. old_ns *. 100.0 in
+        if pct > threshold then incr regressed
+        else if pct < -.threshold then incr improved;
+        compared :=
+          { c_name = r.name; c_old_ns = old_ns; c_new_ns = r.mean_ns; c_pct = pct }
+          :: !compared
+      | Some _ | None -> ())
+    new_rows;
+  let missing =
+    List.filter_map
+      (fun r -> if Hashtbl.mem new_tbl r.name then None else Some r.name)
+      old_rows
+  and added =
+    List.filter_map
+      (fun r -> if Hashtbl.mem old_tbl r.name then None else Some r.name)
+      new_rows
+  in
+  {
+    compared = List.rev !compared;
+    regressed = !regressed;
+    improved = !improved;
+    missing;
+    added;
+  }

@@ -1,0 +1,46 @@
+(** Parser and differ for the benchmark harness's BENCH_<n>.json files —
+    the format bench/main.exe's [--json] emits, one
+    [{"name": ..., "mean_ns": ..., "runs": ...}] object per line.
+
+    Library form of the bin/bench_diff tool so the parser (and its
+    token-boundary key matching) is unit-testable: a key-shaped token
+    inside a longer key or inside a quoted value must never match. *)
+
+type row = { name : string; mean_ns : float; runs : int }
+
+val field : string -> string -> string option
+(** [field line key] is the raw value of the top-level ["key":] field on
+    [line] (trimmed, still quoted for strings), or [None].  The key is
+    matched at token boundaries: the previous non-blank byte before its
+    opening quote must be ['{'] or [','], or the key must open the line. *)
+
+val unquote : string -> string
+(** Strip one layer of surrounding double quotes, if present. *)
+
+val parse_line : string -> row option
+(** One benchmark row, when the line carries both [name] and a float
+    [mean_ns] ([runs] defaults to 0 when absent or malformed). *)
+
+val parse_lines : string list -> row list * string list
+(** All rows in emitted order plus the list of duplicate names that were
+    dropped (first occurrence of each name wins). *)
+
+type comparison = {
+  c_name : string;
+  c_old_ns : float;
+  c_new_ns : float;
+  c_pct : float;  (** percent change, positive = slower *)
+}
+
+type report = {
+  compared : comparison list;  (** rows present in both files, new order *)
+  regressed : int;  (** comparisons beyond [+threshold] *)
+  improved : int;  (** comparisons beyond [-threshold] *)
+  missing : string list;  (** names in OLD absent from NEW, old order *)
+  added : string list;  (** names in NEW absent from OLD, new order *)
+}
+
+val diff : threshold:float -> row list -> row list -> report
+(** [diff ~threshold old_rows new_rows].  Rows with a non-positive mean on
+    either side are excluded from comparison (they cannot be meaningfully
+    ratioed). *)

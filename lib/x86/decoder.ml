@@ -422,6 +422,474 @@ let decode arch code ~base ~off =
     | Bad msg -> Error msg
   end
 
+(* ---- Allocation-free scratch core ------------------------------------ *)
+
+(* [scan] is the hot-loop twin of [decode]: the same instruction walk, but
+   results land in a caller-owned mutable scratch record and classification
+   is an int tag — no cursor, no prefix refs, no [Ok]/[ins]/constructor
+   blocks.  [decode] above is deliberately left untouched as the
+   byte-at-a-time differential-testing oracle; test_prescan.ml pins the two
+   to exact agreement (success, length, kind) on random bytes. *)
+
+let tag_other = 0
+let tag_endbr64 = 1
+let tag_endbr32 = 2
+let tag_call_direct = 3
+let tag_jmp_direct = 4
+let tag_jcc_direct = 5
+let tag_call_indirect = 6
+let tag_jmp_indirect = 7
+let tag_ret = 8
+let tag_halt = 9
+let tag_addr_ref = 10
+
+type scratch = {
+  mutable s_addr : int;  (* virtual address of the scanned instruction *)
+  mutable s_len : int;
+  mutable s_tag : int;
+  mutable s_target : int;  (* payload of direct/addr-ref/goto tags *)
+  mutable s_has_target : bool;  (* indirect tags: [goto] present *)
+  mutable s_notrack : bool;
+  (* walk state *)
+  mutable s_pos : int;
+  mutable s_limit : int;
+  (* modrm result slots (valid right after [scan_modrm]) *)
+  mutable s_mreg : int;
+  mutable s_mbare : bool;
+  mutable s_mdisp : int;
+}
+
+let scratch () =
+  {
+    s_addr = 0;
+    s_len = 0;
+    s_tag = tag_other;
+    s_target = 0;
+    s_has_target = false;
+    s_notrack = false;
+    s_pos = 0;
+    s_limit = 0;
+    s_mreg = 0;
+    s_mbare = false;
+    s_mdisp = 0;
+  }
+
+let scratch_addr s = s.s_addr
+let scratch_len s = s.s_len
+let scratch_tag s = s.s_tag
+let scratch_target s = s.s_target
+
+(* Constant exception: raising it allocates nothing. *)
+exception Scan_fail
+
+let sc_u8 s code =
+  if s.s_pos >= s.s_limit then raise_notrace Scan_fail;
+  let v = Char.code (String.unsafe_get code s.s_pos) in
+  s.s_pos <- s.s_pos + 1;
+  v
+
+let sc_peek s code =
+  if s.s_pos >= s.s_limit then raise_notrace Scan_fail;
+  Char.code (String.unsafe_get code s.s_pos)
+
+let sc_skip s n =
+  if s.s_pos + n > s.s_limit then raise_notrace Scan_fail;
+  s.s_pos <- s.s_pos + n
+
+let sc_i32 s code =
+  let a = sc_u8 s code in
+  let b = sc_u8 s code in
+  let d = sc_u8 s code in
+  let e = sc_u8 s code in
+  let v = a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24) in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let sc_i8 s code =
+  let v = sc_u8 s code in
+  if v >= 0x80 then v - 0x100 else v
+
+(* Prefix flags, bit-packed (mirrors the [prefixes] record). *)
+let pf_opsize = 1
+let pf_rep = 2
+let pf_rexw = 4
+let pf_notrack = 8
+
+let scan_modrm s code =
+  let m = sc_u8 s code in
+  let md = m lsr 6 in
+  s.s_mreg <- (m lsr 3) land 7;
+  s.s_mbare <- false;
+  if md <> 3 then begin
+    let rm = m land 7 in
+    (if rm = 4 then begin
+       let sib = sc_u8 s code in
+       if md = 0 && sib land 7 = 5 then sc_skip s 4
+     end
+     else if md = 0 && rm = 5 then begin
+       s.s_mdisp <- sc_i32 s code;
+       s.s_mbare <- true
+     end);
+    match md with 1 -> sc_skip s 1 | 2 -> sc_skip s 4 | _ -> ()
+  end
+
+let sc_skip_imm_z s pfx = sc_skip s (if pfx land pf_opsize <> 0 then 2 else 4)
+
+(* Sets [s_tag]/[s_target]/[s_has_target]; direct targets are still
+   relative here (resolved by [scan] once the length is known). *)
+let scan_two_byte arch s code pfx =
+  let op = sc_u8 s code in
+  if op = 0x05 && arch = Arch.X64 then s.s_tag <- tag_other
+  else if op = 0x0B then s.s_tag <- tag_other
+  else if op = 0x1E then
+    if pfx land pf_rep <> 0 && sc_peek s code = 0xFA then begin
+      sc_skip s 1;
+      s.s_tag <- tag_endbr64
+    end
+    else if pfx land pf_rep <> 0 && sc_peek s code = 0xFB then begin
+      sc_skip s 1;
+      s.s_tag <- tag_endbr32
+    end
+    else begin
+      scan_modrm s code;
+      s.s_tag <- tag_other
+    end
+  else if op = 0x1F then begin
+    scan_modrm s code;
+    s.s_tag <- tag_other
+  end
+  else if op >= 0x40 && op <= 0x4F then begin
+    scan_modrm s code;
+    s.s_tag <- tag_other
+  end
+  else if op >= 0x80 && op <= 0x8F then begin
+    if pfx land pf_opsize <> 0 then raise_notrace Scan_fail;
+    s.s_target <- sc_i32 s code;
+    s.s_tag <- tag_jcc_direct
+  end
+  else if op >= 0x90 && op <= 0x9F then begin
+    scan_modrm s code;
+    s.s_tag <- tag_other
+  end
+  else if op = 0xA2 then s.s_tag <- tag_other
+  else if op = 0xAF then begin
+    scan_modrm s code;
+    s.s_tag <- tag_other
+  end
+  else if op = 0xB6 || op = 0xB7 || op = 0xBE || op = 0xBF then begin
+    scan_modrm s code;
+    s.s_tag <- tag_other
+  end
+  else if op >= 0xC8 && op <= 0xCF then s.s_tag <- tag_other
+  else raise_notrace Scan_fail
+
+let scan_one_byte arch s code pfx =
+  let x86 = arch = Arch.X86 in
+  let op = sc_u8 s code in
+  let modrm_only () =
+    scan_modrm s code;
+    s.s_tag <- tag_other
+  in
+  let other () = s.s_tag <- tag_other in
+  if op < 0x40 && op land 7 <= 5 && op <> 0x0F then begin
+    match op land 7 with
+    | 0 | 1 | 2 | 3 -> modrm_only ()
+    | 4 ->
+      sc_skip s 1;
+      other ()
+    | 5 ->
+      sc_skip_imm_z s pfx;
+      other ()
+    | _ -> assert false
+  end
+  else
+    match op with
+    | 0x06 | 0x07 | 0x0E | 0x16 | 0x17 | 0x1E | 0x1F ->
+      if x86 then other () else raise_notrace Scan_fail
+    | 0x27 | 0x2F | 0x37 | 0x3F -> if x86 then other () else raise_notrace Scan_fail
+    | _ when op >= 0x40 && op <= 0x4F ->
+      if x86 then other () else raise_notrace Scan_fail
+    | _ when op >= 0x50 && op <= 0x5F -> other ()
+    | 0x60 | 0x61 -> if x86 then other () else raise_notrace Scan_fail
+    | 0x62 -> if x86 then modrm_only () else raise_notrace Scan_fail
+    | 0x63 -> modrm_only ()
+    | 0x68 ->
+      if pfx land pf_opsize <> 0 then begin
+        sc_skip s 2;
+        other ()
+      end
+      else begin
+        let v = sc_i32 s code in
+        if x86 then begin
+          s.s_target <- v land 0xFFFFFFFF;
+          s.s_tag <- tag_addr_ref
+        end
+        else other ()
+      end
+    | 0x69 ->
+      scan_modrm s code;
+      sc_skip_imm_z s pfx;
+      other ()
+    | 0x6A ->
+      sc_skip s 1;
+      other ()
+    | 0x6B ->
+      scan_modrm s code;
+      sc_skip s 1;
+      other ()
+    | 0x6C | 0x6D | 0x6E | 0x6F -> other ()
+    | _ when op >= 0x70 && op <= 0x7F ->
+      s.s_target <- sc_i8 s code;
+      s.s_tag <- tag_jcc_direct
+    | 0x80 ->
+      scan_modrm s code;
+      sc_skip s 1;
+      other ()
+    | 0x81 ->
+      scan_modrm s code;
+      sc_skip_imm_z s pfx;
+      other ()
+    | 0x82 ->
+      if x86 then begin
+        scan_modrm s code;
+        sc_skip s 1;
+        other ()
+      end
+      else raise_notrace Scan_fail
+    | 0x83 ->
+      scan_modrm s code;
+      sc_skip s 1;
+      other ()
+    | 0x84 | 0x85 | 0x86 | 0x87 | 0x88 | 0x89 | 0x8A | 0x8B | 0x8C | 0x8E ->
+      modrm_only ()
+    | 0x8D ->
+      scan_modrm s code;
+      if s.s_mbare then begin
+        s.s_target <- s.s_mdisp;
+        s.s_tag <- tag_addr_ref
+      end
+      else other ()
+    | 0x8F -> modrm_only ()
+    | _ when op >= 0x90 && op <= 0x97 -> other ()
+    | 0x98 | 0x99 -> other ()
+    | 0x9A ->
+      if x86 then begin
+        sc_skip s 6;
+        other ()
+      end
+      else raise_notrace Scan_fail
+    | 0x9B | 0x9C | 0x9D | 0x9E | 0x9F -> other ()
+    | 0xA0 | 0xA1 | 0xA2 | 0xA3 ->
+      sc_skip s (if x86 then 4 else 8);
+      other ()
+    | 0xA4 | 0xA5 | 0xA6 | 0xA7 -> other ()
+    | 0xA8 ->
+      sc_skip s 1;
+      other ()
+    | 0xA9 ->
+      sc_skip_imm_z s pfx;
+      other ()
+    | _ when op >= 0xAA && op <= 0xAF -> other ()
+    | _ when op >= 0xB0 && op <= 0xB7 ->
+      sc_skip s 1;
+      other ()
+    | _ when op >= 0xB8 && op <= 0xBF ->
+      if pfx land (pf_rexw lor pf_opsize) <> 0 then begin
+        sc_skip s (if pfx land pf_rexw <> 0 then 8 else 2);
+        other ()
+      end
+      else begin
+        let v = sc_i32 s code in
+        if x86 then begin
+          s.s_target <- v land 0xFFFFFFFF;
+          s.s_tag <- tag_addr_ref
+        end
+        else other ()
+      end
+    | 0xC0 | 0xC1 ->
+      scan_modrm s code;
+      sc_skip s 1;
+      other ()
+    | 0xC2 ->
+      sc_skip s 2;
+      s.s_tag <- tag_ret
+    | 0xC3 -> s.s_tag <- tag_ret
+    | 0xC4 | 0xC5 -> if x86 then modrm_only () else raise_notrace Scan_fail
+    | 0xC6 ->
+      scan_modrm s code;
+      sc_skip s 1;
+      other ()
+    | 0xC7 ->
+      scan_modrm s code;
+      sc_skip_imm_z s pfx;
+      other ()
+    | 0xC8 ->
+      sc_skip s 3;
+      other ()
+    | 0xC9 -> other ()
+    | 0xCA ->
+      sc_skip s 2;
+      s.s_tag <- tag_ret
+    | 0xCB -> s.s_tag <- tag_ret
+    | 0xCC -> other ()
+    | 0xCD ->
+      sc_skip s 1;
+      other ()
+    | 0xCE -> if x86 then other () else raise_notrace Scan_fail
+    | 0xCF -> other ()
+    | 0xD0 | 0xD1 | 0xD2 | 0xD3 -> modrm_only ()
+    | 0xD4 | 0xD5 ->
+      if x86 then begin
+        sc_skip s 1;
+        other ()
+      end
+      else raise_notrace Scan_fail
+    | 0xD7 -> other ()
+    | _ when op >= 0xD8 && op <= 0xDF -> modrm_only ()
+    | 0xE0 | 0xE1 | 0xE2 | 0xE3 ->
+      s.s_target <- sc_i8 s code;
+      s.s_tag <- tag_jcc_direct
+    | 0xE4 | 0xE5 | 0xE6 | 0xE7 ->
+      sc_skip s 1;
+      other ()
+    | 0xE8 ->
+      if pfx land pf_opsize <> 0 then raise_notrace Scan_fail;
+      s.s_target <- sc_i32 s code;
+      s.s_tag <- tag_call_direct
+    | 0xE9 ->
+      if pfx land pf_opsize <> 0 then raise_notrace Scan_fail;
+      s.s_target <- sc_i32 s code;
+      s.s_tag <- tag_jmp_direct
+    | 0xEA ->
+      if x86 then begin
+        sc_skip s 6;
+        other ()
+      end
+      else raise_notrace Scan_fail
+    | 0xEB ->
+      s.s_target <- sc_i8 s code;
+      s.s_tag <- tag_jmp_direct
+    | 0xEC | 0xED | 0xEE | 0xEF -> other ()
+    | 0xF1 -> other ()
+    | 0xF4 -> s.s_tag <- tag_halt
+    | 0xF5 -> other ()
+    | 0xF6 ->
+      scan_modrm s code;
+      if s.s_mreg <= 1 then sc_skip s 1;
+      other ()
+    | 0xF7 ->
+      scan_modrm s code;
+      if s.s_mreg <= 1 then sc_skip_imm_z s pfx;
+      other ()
+    | _ when op >= 0xF8 && op <= 0xFD -> other ()
+    | 0xFE ->
+      scan_modrm s code;
+      if s.s_mreg > 1 then raise_notrace Scan_fail;
+      other ()
+    | 0xFF -> (
+      scan_modrm s code;
+      match s.s_mreg with
+      | 0 | 1 -> other ()
+      | 2 ->
+        s.s_tag <- tag_call_indirect;
+        s.s_has_target <- s.s_mbare;
+        if s.s_mbare then s.s_target <- s.s_mdisp
+      | 3 -> if x86 then other () else raise_notrace Scan_fail
+      | 4 ->
+        s.s_tag <- tag_jmp_indirect;
+        s.s_has_target <- s.s_mbare;
+        if s.s_mbare then s.s_target <- s.s_mdisp
+      | 5 -> if x86 then other () else raise_notrace Scan_fail
+      | 6 -> other ()
+      | _ -> raise_notrace Scan_fail)
+    | _ ->
+      (* Includes legacy prefixes reached after REX, exactly like [decode]. *)
+      raise_notrace Scan_fail
+
+let scan arch (s : scratch) code ~limit ~base ~off =
+  if limit < 0 || limit > String.length code then
+    invalid_arg "Decoder.scan: limit out of range";
+  if off < 0 || off >= limit then false
+  else begin
+    s.s_pos <- off;
+    s.s_limit <- limit;
+    s.s_tag <- tag_other;
+    s.s_target <- 0;
+    s.s_has_target <- false;
+    s.s_notrack <- false;
+    s.s_addr <- base + off;
+    try
+      (* Prefix loop (flag bits instead of refs); REX stops it. *)
+      let pfx = ref 0 in
+      let n = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        if !n > 14 then raise_notrace Scan_fail;
+        (match sc_peek s code with
+        | 0x66 ->
+          sc_skip s 1;
+          pfx := !pfx lor pf_opsize
+        | 0x67 ->
+          sc_skip s 1;
+          (* address-size prefix: unsupported downstream, matching [decode]'s
+             post-prefix rejection *)
+          raise_notrace Scan_fail
+        | 0xF3 ->
+          sc_skip s 1;
+          pfx := !pfx lor pf_rep
+        | 0xF2 -> sc_skip s 1
+        | 0xF0 -> sc_skip s 1
+        | 0x3E ->
+          sc_skip s 1;
+          pfx := !pfx lor pf_notrack;
+          s.s_notrack <- true
+        | 0x26 | 0x2E | 0x36 | 0x64 | 0x65 -> sc_skip s 1
+        | b when arch = Arch.X64 && b >= 0x40 && b <= 0x4F ->
+          sc_skip s 1;
+          if b land 8 <> 0 then pfx := !pfx lor pf_rexw;
+          stop := true
+        | _ -> stop := true);
+        if not !stop then incr n
+      done;
+      if sc_peek s code = 0x0F then begin
+        sc_skip s 1;
+        scan_two_byte arch s code !pfx
+      end
+      else scan_one_byte arch s code !pfx;
+      s.s_len <- s.s_pos - off;
+      (* Resolve direct/RIP-relative payloads against the end address. *)
+      let next = base + s.s_pos in
+      let tag = s.s_tag in
+      if tag = tag_call_direct || tag = tag_jmp_direct || tag = tag_jcc_direct
+      then s.s_target <- next + s.s_target
+      else if
+        (tag = tag_call_indirect || tag = tag_jmp_indirect) && s.s_has_target
+        && arch = Arch.X64
+      then s.s_target <- next + s.s_target
+      else if tag = tag_addr_ref && arch = Arch.X64 then
+        s.s_target <- next + s.s_target;
+      true
+    with Scan_fail -> false
+  end
+
+let scratch_ins (s : scratch) =
+  let kind =
+    if s.s_tag = tag_other then Other
+    else if s.s_tag = tag_endbr64 then Endbr64
+    else if s.s_tag = tag_endbr32 then Endbr32
+    else if s.s_tag = tag_call_direct then Call_direct s.s_target
+    else if s.s_tag = tag_jmp_direct then Jmp_direct s.s_target
+    else if s.s_tag = tag_jcc_direct then Jcc_direct s.s_target
+    else if s.s_tag = tag_call_indirect then
+      Call_indirect { goto = (if s.s_has_target then Some s.s_target else None) }
+    else if s.s_tag = tag_jmp_indirect then
+      Jmp_indirect
+        { notrack = s.s_notrack; goto = (if s.s_has_target then Some s.s_target else None) }
+    else if s.s_tag = tag_ret then Ret
+    else if s.s_tag = tag_halt then Halt
+    else Addr_ref s.s_target
+  in
+  { addr = s.s_addr; len = s.s_len; kind }
+
 let kind_to_string = function
   | Endbr64 -> "endbr64"
   | Endbr32 -> "endbr32"

@@ -37,3 +37,51 @@ val decode :
     [off + 1] exactly as the paper prescribes. *)
 
 val kind_to_string : kind -> string
+
+(** {1 Allocation-free scratch core}
+
+    [scan] is the hot-loop twin of [decode]: the same instruction walk over
+    the same opcode subset, but the result lands in a caller-owned mutable
+    {!scratch} record and classification is an int tag, so a successful scan
+    allocates nothing.  [decode] stays as the byte-at-a-time oracle; the two
+    are pinned to exact agreement by differential tests. *)
+
+type scratch
+(** Mutable decode result slots, reused across calls.  Not thread-safe;
+    allocate one per domain/loop. *)
+
+val scratch : unit -> scratch
+
+val scan : Arch.t -> scratch -> string -> limit:int -> base:int -> off:int -> bool
+(** [scan arch s code ~limit ~base ~off] decodes the instruction at [off]
+    (reading no byte at or past [limit]) into [s].  Returns [false] where
+    [decode] returns [Error _] (and when [off >= limit]).  Raises
+    [Invalid_argument] if [limit] is outside [0 .. String.length code]. *)
+
+val scratch_addr : scratch -> int
+(** Virtual address of the last successfully scanned instruction. *)
+
+val scratch_len : scratch -> int
+val scratch_tag : scratch -> int
+
+val scratch_target : scratch -> int
+(** Resolved absolute target/slot/ref payload — meaningful for the direct
+    tags and [tag_addr_ref] always, and for the indirect tags only when the
+    instruction had a bare-disp32 memory operand (cf. {!scratch_ins}). *)
+
+val scratch_ins : scratch -> ins
+(** Materialise the last scan as a [decode]-style record (allocates). *)
+
+(** Tag constants for {!scratch_tag}. *)
+
+val tag_other : int
+val tag_endbr64 : int
+val tag_endbr32 : int
+val tag_call_direct : int
+val tag_jmp_direct : int
+val tag_jcc_direct : int
+val tag_call_indirect : int
+val tag_jmp_indirect : int
+val tag_ret : int
+val tag_halt : int
+val tag_addr_ref : int

@@ -1,0 +1,276 @@
+(* Differential tests for the SWAR prescan sweep core (PR 6).
+
+   The byte-at-a-time [Decoder.decode] and the reference sweeps are the
+   oracles; the scratch-core [Decoder.scan], the SWAR [anchor_offsets],
+   and the rewritten sweeps must agree with them exactly — on random
+   bytes, not just well-formed code, because the linear sweep's whole job
+   is resynchronising through garbage. *)
+
+module Arch = Cet_x86.Arch
+module Decoder = Cet_x86.Decoder
+module Linear = Cet_disasm.Linear
+module Prescan = Cet_disasm.Prescan
+
+let check = Alcotest.check
+
+let arches = [ ("x64", Arch.X64); ("x86", Arch.X86) ]
+
+(* --- scan vs decode, every offset --------------------------------------- *)
+
+let ins_equal (a : Decoder.ins) (b : Decoder.ins) =
+  a.Decoder.addr = b.Decoder.addr && a.Decoder.len = b.Decoder.len
+  && a.Decoder.kind = b.Decoder.kind
+
+let scan_agrees arch code =
+  let s = Decoder.scratch () in
+  let n = String.length code in
+  let base = 0x401000 in
+  let ok = ref true in
+  for off = 0 to n - 1 do
+    let scanned = Decoder.scan arch s code ~limit:n ~base ~off in
+    (match (scanned, Decoder.decode arch code ~base ~off) with
+    | true, Ok ins -> if not (ins_equal ins (Decoder.scratch_ins s)) then ok := false
+    | false, Error _ -> ()
+    | true, Error _ | false, Ok _ -> ok := false);
+    if not !ok then
+      QCheck.Test.fail_reportf "scan/decode disagree at off %d in %S" off code
+  done;
+  true
+
+let test_scan_vs_decode =
+  List.map
+    (fun (name, arch) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "scan = decode on random bytes (%s)" name)
+        ~count:500
+        QCheck.(string_of_size Gen.(int_range 0 96))
+        (scan_agrees arch))
+    arches
+
+(* Directed bytes covering the fiddlier decode arms: every prefix in
+   front of every interesting opcode, plus truncations. *)
+let directed_bytes =
+  let prefixes = [ ""; "\x66"; "\x67"; "\xf3"; "\xf2"; "\x3e"; "\x48"; "\x66\x48" ] in
+  let bodies =
+    [
+      "\x0f\x1e\xfa"; "\x0f\x1e\xfb"; "\x0f\x1e"; "\x0f\x1e\x00";
+      "\xe8\x01\x02\x03\x04"; "\xe9\x01\x02\x03\x04"; "\xeb\x7f"; "\xeb\x80";
+      "\x0f\x84\x10\x20\x30\x40"; "\x70\x05"; "\xe3\xfe";
+      "\xff\x15\x01\x00\x00\x00"; "\xff\x25\x01\x00\x00\x00";
+      "\xff\xd0"; "\xff\xe0"; "\xff\x2d\x01\x00\x00\x00";
+      "\x8d\x05\x01\x00\x00\x00"; "\x8d\x04\x25\x01\x00\x00\x00";
+      "\xb8\x01\x02\x03\x04"; "\x68\x01\x02\x03\x04";
+      "\xc3"; "\xc2\x08\x00"; "\xf4"; "\x0f\x05"; "\x0f\x0b";
+      "\xf6\xc0\x01"; "\xf7\xc0\x01\x02\x03\x04"; "\xfe\xc0"; "\xfe\xd0";
+      "\x8b\x44\x24\x08"; "\x8b\x45\xfc"; "\x8b\x04\x25\x00\x10\x40\x00";
+      "\x48\x66\x90"; "\x48\xf3\x0f\x1e\xfa";
+      "\x48"; "\x66"; "\x0f"; "";
+    ]
+  in
+  List.concat_map (fun p -> List.map (fun b -> p ^ b) bodies) prefixes
+
+let test_scan_directed () =
+  List.iter
+    (fun (name, arch) ->
+      List.iter
+        (fun code ->
+          ignore (scan_agrees arch code);
+          (* And once more with every byte of trailing padding trimmed, to
+             hit the truncation arms. *)
+          for len = 0 to String.length code - 1 do
+            ignore (scan_agrees arch (String.sub code 0 len))
+          done)
+        directed_bytes;
+      ignore name)
+    arches
+
+(* --- code generators ---------------------------------------------------- *)
+
+let endbr arch =
+  match arch with Arch.X64 -> "\xf3\x0f\x1e\xfa" | Arch.X86 -> "\xf3\x0f\x1e\xfb"
+
+(* Random bytes with end-branch patterns planted at random positions, so
+   the anchored sweep and the anchor scan have real work on every case. *)
+let planted_gen arch =
+  QCheck.Gen.(
+    string_size ~gen:char (int_range 0 160) >>= fun raw ->
+    list_size (int_range 0 6) (int_range 0 (max 0 (String.length raw - 1)))
+    >|= fun spots ->
+    let b = Bytes.of_string raw in
+    List.iter
+      (fun i ->
+        let p = endbr arch in
+        let len = min (String.length p) (Bytes.length b - i) in
+        Bytes.blit_string p 0 b i len)
+      spots;
+    Bytes.to_string b)
+
+let planted arch = QCheck.make ~print:(Printf.sprintf "%S") (planted_gen arch)
+
+(* --- sweeps vs their references ----------------------------------------- *)
+
+let sweep_equal name (a : Linear.t) (b : Linear.t) code =
+  if a.Linear.resync_errors <> b.Linear.resync_errors then
+    QCheck.Test.fail_reportf "%s: resync_errors %d <> %d on %S" name
+      a.Linear.resync_errors b.Linear.resync_errors code;
+  let na = Array.length a.Linear.insns and nb = Array.length b.Linear.insns in
+  if na <> nb then
+    QCheck.Test.fail_reportf "%s: %d insns <> %d on %S" name na nb code;
+  Array.iteri
+    (fun i ia ->
+      if not (ins_equal ia b.Linear.insns.(i)) then
+        QCheck.Test.fail_reportf "%s: insn %d differs on %S" name i code)
+    a.Linear.insns;
+  true
+
+let test_sweep_vs_reference =
+  List.map
+    (fun (name, arch) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "sweep = reference sweep (%s)" name)
+        ~count:300 (planted arch)
+        (fun code ->
+          sweep_equal "sweep"
+            (Linear.sweep arch ~base:0x1000 code)
+            (Linear.sweep_reference arch ~base:0x1000 code)
+            code))
+    arches
+
+let test_anchored_vs_reference =
+  List.map
+    (fun (name, arch) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "anchored sweep = reference (%s)" name)
+        ~count:300 (planted arch)
+        (fun code ->
+          sweep_equal "sweep_anchored"
+            (Linear.sweep_anchored arch ~base:0x1000 code)
+            (Linear.sweep_anchored_reference arch ~base:0x1000 code)
+            code))
+    arches
+
+(* --- SWAR anchor scan vs the per-byte oracle ----------------------------- *)
+
+let test_anchors_vs_naive =
+  List.map
+    (fun (name, arch) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "SWAR anchor_offsets = naive (%s)" name)
+        ~count:500 (planted arch)
+        (fun code ->
+          Linear.anchor_offsets arch code = Linear.anchor_offsets_naive arch code))
+    arches
+
+(* Directed anchor placements: offset 0, every phase relative to the
+   8-byte word grid (straddling included), and flush against the n-4
+   tail — with sub-word and empty strings for the edges. *)
+let test_anchors_directed () =
+  List.iter
+    (fun (aname, arch) ->
+      let p = endbr arch in
+      let case code =
+        check
+          Alcotest.(list int)
+          (Printf.sprintf "%s anchors in %S" aname code)
+          (Array.to_list (Linear.anchor_offsets_naive arch code))
+          (Array.to_list (Linear.anchor_offsets arch code))
+      in
+      case "";
+      case "\x90";
+      case p;
+      case (String.sub p 0 3);
+      (* every alignment of the pattern within/between words *)
+      for pad = 0 to 17 do
+        case (String.make pad '\x90' ^ p);
+        case (String.make pad '\x90' ^ p ^ String.make 3 '\x90');
+        (* flush at the n-4 tail *)
+        case (String.make pad '\x00' ^ p)
+      done;
+      (* back-to-back and overlapping-prefix runs *)
+      case (p ^ p ^ p);
+      case ("\xf3\xf3" ^ p);
+      case (String.concat "" (List.init 5 (fun i -> String.make i '\xf3' ^ p)));
+      (* the wrong-arch suffix must not match *)
+      case (endbr Arch.X64 ^ endbr Arch.X86))
+    arches
+
+(* --- word-class bitmap vs the per-byte oracle ---------------------------- *)
+
+let word_flagged code w =
+  let lo = w * 8 and n = String.length code in
+  let hi = min (lo + 7) (n - 1) in
+  let rec go i = i <= hi && (Prescan.candidate_byte code.[i] || go (i + 1)) in
+  go lo
+
+let test_classes_vs_oracle =
+  QCheck.Test.make ~name:"prescan classes = per-byte oracle" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun code ->
+      let cls = Prescan.classes code in
+      let nwords = (String.length code + 7) / 8 in
+      Bytes.length cls = max nwords 1
+      && List.for_all
+           (fun w -> Bytes.get cls w <> '\000' = word_flagged code w)
+           (List.init nwords Fun.id))
+
+let test_window_conservative =
+  QCheck.Test.make ~name:"window_has_candidate never misses" ~count:500
+    QCheck.(
+      pair (string_of_size Gen.(int_range 1 64)) (pair small_nat small_nat))
+    (fun (code, (off, len)) ->
+      let n = String.length code in
+      let off = off mod n and len = 1 + (len mod 15) in
+      let len = min len (n - off) in
+      let cls = Prescan.classes code in
+      let any_candidate =
+        let rec go i = i < off + len && (Prescan.candidate_byte code.[i] || go (i + 1)) in
+        go off
+      in
+      (* conservative: a window containing a candidate is always flagged *)
+      (not any_candidate) || Prescan.window_has_candidate cls ~off ~len)
+
+(* --- allocation budget --------------------------------------------------- *)
+
+(* The prescan kernels must not allocate per word: [classes] one bitmap,
+   [anchor_offsets] the result array (plus doubling steps).  The budget is
+   bytes-proportional headroom far under one word per scanned word, so a
+   boxed-Int64 regression in the loop bodies (8+ words per iteration)
+   trips it immediately. *)
+let test_prescan_allocation_budget () =
+  let code =
+    String.concat ""
+      (List.init 4096 (fun i ->
+           if i mod 64 = 0 then "\xf3\x0f\x1e\xfa" else "\x90\x31\xc0\x50"))
+  in
+  let measure f =
+    ignore (f ());
+    let before = Gc.minor_words () in
+    ignore (f ());
+    Gc.minor_words () -. before
+  in
+  let n_words = float_of_int (String.length code / 8) in
+  let cls_words = measure (fun () -> Prescan.classes code) in
+  let anchor_words = measure (fun () -> Linear.anchor_offsets Arch.X64 code) in
+  (* classes: the bitmap itself is ~n/8/8 words; budget 1 word per code
+     word catches any boxing in the loop. *)
+  if cls_words /. n_words > 1.0 then
+    Alcotest.failf "Prescan.classes allocates %.2f minor words per code word"
+      (cls_words /. n_words);
+  if anchor_words /. n_words > 1.0 then
+    Alcotest.failf "anchor_offsets allocates %.2f minor words per code word"
+      (anchor_words /. n_words)
+
+let suite =
+  [
+    ( "prescan",
+      List.map QCheck_alcotest.to_alcotest
+        (test_scan_vs_decode @ test_sweep_vs_reference @ test_anchored_vs_reference
+       @ test_anchors_vs_naive
+        @ [ test_classes_vs_oracle; test_window_conservative ])
+      @ [
+          Alcotest.test_case "scan = decode directed" `Quick test_scan_directed;
+          Alcotest.test_case "anchor offsets directed" `Quick test_anchors_directed;
+          Alcotest.test_case "prescan allocation budget" `Quick
+            test_prescan_allocation_budget;
+        ] );
+  ]

@@ -164,6 +164,67 @@ let test_corrupt_eh_frame_salvage () =
     check Alcotest.bool "functions still identified" true (r.Core.Funseeker.functions <> []);
     check Alcotest.bool "eh-frame walk reported" true (has_code "eh-frame" diags)
 
+(* ---- Crash class: truncated EH metadata on the production paths ------- *)
+
+(* Shrink a section in place by patching its sh_size in the section-header
+   table: the payload prefix stays readable, so decoders that begin a
+   record in bounds run off the new end mid-record — the cetfuzz
+   truncation class, aimed here at the *production* (non-diag) substrate
+   paths that used to let those exceptions escape. *)
+let shrink_section bytes name ~keep =
+  let t = Reader.read bytes in
+  let s = Option.get (Reader.find_section t name) in
+  let n = String.length s.Reader.data in
+  check Alcotest.bool (name ^ " big enough to cut") true (keep < n);
+  let base = shoff bytes in
+  let rec go i =
+    if i >= shnum bytes then Alcotest.failf "shdr for %s not found" name
+    else
+      let off = base + (i * shentsize bytes) in
+      if u64 bytes (off + 0x18) = s.Reader.file_off && u64 bytes (off + 0x20) = n
+      then patch_u64 bytes ~off:(off + 0x20) keep
+      else go (i + 1)
+  in
+  go 0
+
+let test_truncated_lsda_landing_pads () =
+  (* [.gcc_except_table] cut in half: the LSDA records straddling the cut
+     have in-bounds headers but truncated bodies.  Pre-fix,
+     [Substrate.landing_pads] called the raising [Lsda.decode] and the
+     exception escaped the production path; now corrupt records are
+     skipped and every healthy one still contributes its pads. *)
+  let good = cpp_binary () in
+  let t = Reader.read good in
+  let get = Option.get (Reader.find_section t ".gcc_except_table") in
+  let evil = shrink_section good ".gcc_except_table"
+      ~keep:(String.length get.Reader.data / 2)
+  in
+  let st = Cet_disasm.Substrate.of_bytes evil in
+  let pads = Cet_disasm.Substrate.landing_pads st in
+  let intact = Cet_disasm.Substrate.landing_pads (Cet_disasm.Substrate.of_bytes good) in
+  check Alcotest.bool "some pads survive" true (Array.length pads > 0);
+  check Alcotest.bool "a strict subset of the intact pads" true
+    (Array.length pads < Array.length intact
+    && Array.for_all
+         (fun p -> Array.exists (Int.equal p) intact)
+         pads)
+
+let test_truncated_eh_frame_hdr_fde_starts () =
+  (* [.eh_frame_hdr] cut mid-table: the header (version, encodings, count)
+     is intact, the entry pairs are not.  Pre-fix [Substrate.fde_starts]
+     salvaged only [Invalid_argument] while the reader's [Out_of_bounds]
+     escaped; now it falls back to walking the (intact) [.eh_frame]. *)
+  let good = cpp_binary () in
+  let t = Reader.read good in
+  let hdr = Option.get (Reader.find_section t ".eh_frame_hdr") in
+  let evil =
+    shrink_section good ".eh_frame_hdr"
+      ~keep:(String.length hdr.Reader.data - 4)
+  in
+  let starts = Cet_disasm.Substrate.fde_starts (Cet_disasm.Substrate.of_bytes evil) in
+  let intact = Cet_disasm.Substrate.fde_starts (Cet_disasm.Substrate.of_bytes good) in
+  check Alcotest.(list int) "fde starts salvaged via .eh_frame walk" intact starts
+
 (* ---- Crash class: overlapping interval-table entries ------------------ *)
 
 let test_itable_lenient_overlap () =
@@ -344,6 +405,10 @@ let suite =
         Alcotest.test_case "truncated shdr salvage" `Quick test_truncated_shdr_salvage;
         Alcotest.test_case "bad LSDA encoding degrades" `Quick test_bad_lsda_encoding_degrades;
         Alcotest.test_case "corrupt .eh_frame salvage" `Quick test_corrupt_eh_frame_salvage;
+        Alcotest.test_case "truncated LSDA on production landing_pads" `Quick
+          test_truncated_lsda_landing_pads;
+        Alcotest.test_case "truncated .eh_frame_hdr on production fde_starts" `Quick
+          test_truncated_eh_frame_hdr_fde_starts;
         Alcotest.test_case "itable lenient overlap" `Quick test_itable_lenient_overlap;
         Alcotest.test_case "deadline expires sweep" `Quick test_deadline_expires_sweep;
         Alcotest.test_case "deadline nesting" `Quick test_deadline_nesting;

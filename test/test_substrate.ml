@@ -180,6 +180,160 @@ let test_sweep_allocation_budget () =
     Alcotest.failf
       "sweep core overhead is %.1f minor words per instruction (budget 4)" overhead
 
+(* --- stream-free scan vs sweep-derived products ------------------------ *)
+
+(* The SWAR-prescanned scan (what a substrate runs when no sweep is
+   cached) and the sweep-derived path must be observationally identical:
+   same index arrays, same facts, plain and anchored. *)
+let check_scan_matches tag bytes =
+  List.iter
+    (fun anchored ->
+      let tag = Printf.sprintf "%s anchored=%b" tag anchored in
+      let scan_st = Substrate.of_bytes bytes in
+      let ix_scan = Substrate.indexes ~anchored scan_st in
+      let fx_scan = Substrate.facts ~anchored scan_st in
+      let sweep_st = Substrate.of_bytes bytes in
+      ignore
+        (if anchored then Substrate.sweep_anchored sweep_st
+         else Substrate.sweep sweep_st);
+      let ix_sweep = Substrate.indexes ~anchored sweep_st in
+      let fx_sweep = Substrate.facts ~anchored sweep_st in
+      let arr field f =
+        check int_list (tag ^ " " ^ field)
+          (Array.to_list (f ix_sweep))
+          (Array.to_list (f ix_scan))
+      in
+      arr "endbrs" (fun i -> i.Substrate.endbrs);
+      arr "call_sites" (fun i -> i.Substrate.call_sites);
+      arr "call_rets" (fun i -> i.Substrate.call_rets);
+      arr "call_tgts" (fun i -> i.Substrate.call_tgts);
+      arr "call_targets" (fun i -> i.Substrate.call_targets);
+      arr "jmp_sites" (fun i -> i.Substrate.jmp_sites);
+      arr "jmp_tgts" (fun i -> i.Substrate.jmp_tgts);
+      arr "jmp_targets" (fun i -> i.Substrate.jmp_targets);
+      check Alcotest.int (tag ^ " f_base") fx_sweep.Substrate.f_base
+        fx_scan.Substrate.f_base;
+      check Alcotest.int (tag ^ " f_size") fx_sweep.Substrate.f_size
+        fx_scan.Substrate.f_size;
+      check Alcotest.int (tag ^ " resyncs") fx_sweep.Substrate.f_resync_errors
+        fx_scan.Substrate.f_resync_errors)
+    [ false; true ]
+
+let test_scan_matches_corpus () =
+  List.iter (fun (name, (bytes, _)) -> check_scan_matches name bytes) (Lazy.force corpus)
+
+let image_with_text arch text =
+  Cet_elf.Writer.write
+    {
+      Cet_elf.Image.arch;
+      machine = None;
+      pie = true;
+      cet_note = true;
+      entry = 0x1000;
+      sections =
+        [
+          Cet_elf.Image.section ~name:".text"
+            ~flags:(Cet_elf.Consts.shf_alloc lor Cet_elf.Consts.shf_execinstr)
+            ~addralign:16 ~vaddr:0x1000 text;
+        ];
+      symbols = [];
+      dynsyms = [];
+      plt_relocs = [];
+    }
+
+(* Random bytes with candidate patterns (end branches, direct calls and
+   jumps) planted at random spots, so both scan loops do real work and
+   the window gate has plenty of positive and negative words. *)
+let planted_code_gen =
+  QCheck.Gen.(
+    string_size ~gen:char (int_range 1 160) >>= fun raw ->
+    list_size (int_range 0 8)
+      (pair (int_range 0 4) (int_range 0 (max 0 (String.length raw - 1))))
+    >|= fun spots ->
+    let pool =
+      [|
+        "\xf3\x0f\x1e\xfa"; "\xf3\x0f\x1e\xfb"; "\xe8\x10\x00\x00\x00";
+        "\xe9\xf0\xff\xff\xff"; "\xeb\x04";
+      |]
+    in
+    let b = Bytes.of_string raw in
+    List.iter
+      (fun (which, i) ->
+        let p = pool.(which) in
+        let len = min (String.length p) (Bytes.length b - i) in
+        Bytes.blit_string p 0 b i len)
+      spots;
+    Bytes.to_string b)
+
+let test_scan_matches_planted =
+  QCheck.Test.make ~name:"scan = sweep-derived on planted code" ~count:100
+    (QCheck.make ~print:(Printf.sprintf "%S") planted_code_gen)
+    (fun code ->
+      List.iter
+        (fun arch -> check_scan_matches "planted" (image_with_text arch code))
+        [ Cet_x86.Arch.X64; Cet_x86.Arch.X86 ];
+      true)
+
+(* The stream-free scan materialises no instruction records at all — only
+   the class bitmap, the anchor table, and the index buffers — so its
+   whole budget is a couple of minor words per instruction. *)
+let test_scan_allocation_budget () =
+  let bytes, _ = List.assoc "gcc-x64-cpp" (Lazy.force corpus) in
+  assert (not (Cet_telemetry.Span.enabled ()));
+  let reader = Reader.read bytes in
+  let n =
+    float_of_int (Array.length (Linear.sweep_text reader).Linear.insns)
+  in
+  let run anchored () =
+    ignore
+      (Sys.opaque_identity (Substrate.indexes ~anchored (Substrate.create reader)))
+  in
+  run false ();
+  run true ();
+  List.iter
+    (fun anchored ->
+      let before = Gc.minor_words () in
+      run anchored ();
+      let per_insn = (Gc.minor_words () -. before) /. n in
+      if per_insn > 1.0 then
+        Alcotest.failf "scan (anchored=%b) allocates %.2f minor words per instruction (budget 1)"
+          anchored per_insn)
+    [ false; true ]
+
+(* Regression (dead-copy fix): [indexes_of_sweep] builds [jmp_targets] by
+   sorting a buffer in place.  If that buffer aliased [jmp_tgts], the
+   site->target pairing would be scrambled — two jumps with descending
+   targets detect any aliasing the moment the sort runs. *)
+let test_jmp_tgts_sweep_order () =
+  let code = "\xEB\x06\xEB\x00" ^ String.make 8 '\x90' in
+  let sweep = Linear.sweep Cet_x86.Arch.X64 ~base:0x1000 code in
+  let ix = Substrate.indexes_of_sweep sweep in
+  check int_list "sites" [ 0x1000; 0x1002 ] (Array.to_list ix.Substrate.jmp_sites);
+  check int_list "tgts stay in sweep order" [ 0x1008; 0x1004 ]
+    (Array.to_list ix.Substrate.jmp_tgts);
+  check int_list "targets sorted" [ 0x1004; 0x1008 ]
+    (Array.to_list ix.Substrate.jmp_targets)
+
+(* Regression (same fix, the perf half): the dead [Array.copy] cost one
+   extra minor word per jump on jump-heavy code.  The index build on this
+   all-jump sweep is deterministic — buffers, doubling, and the final
+   [Array.sub]s — so the budget can sit right above the fixed cost and
+   below fixed + 1 word/insn, where the copy would land. *)
+let test_indexes_allocation_budget () =
+  let n = 8192 in
+  let code =
+    String.concat "" (List.init n (fun _ -> "\xEB\xFE") (* jmp self *))
+  in
+  let sweep = Linear.sweep Cet_x86.Arch.X64 ~base:0x1000 code in
+  ignore (Substrate.indexes_of_sweep sweep);
+  let before = Gc.minor_words () in
+  ignore (Sys.opaque_identity (Substrate.indexes_of_sweep sweep));
+  let words = Gc.minor_words () -. before in
+  let per_insn = words /. float_of_int n in
+  if per_insn > 4.7 then
+    Alcotest.failf "index build allocates %.2f minor words per jump (budget 4.7)"
+      per_insn
+
 let suite =
   [
     ( "substrate",
@@ -189,5 +343,12 @@ let suite =
         Alcotest.test_case "index arrays match list extractors" `Quick test_index_arrays;
         QCheck_alcotest.to_alcotest test_sorted_set_ops;
         Alcotest.test_case "sweep allocation budget" `Quick test_sweep_allocation_budget;
+        Alcotest.test_case "scan matches sweep-derived (corpus)" `Quick
+          test_scan_matches_corpus;
+        QCheck_alcotest.to_alcotest test_scan_matches_planted;
+        Alcotest.test_case "scan allocation budget" `Quick test_scan_allocation_budget;
+        Alcotest.test_case "jmp_tgts keeps sweep order" `Quick test_jmp_tgts_sweep_order;
+        Alcotest.test_case "index build allocation budget" `Quick
+          test_indexes_allocation_budget;
       ] );
   ]
