@@ -195,6 +195,18 @@ let bench_kernels =
            Cet_disasm.Substrate.indexes (Cet_disasm.Substrate.create spec_bin.w_reader)));
     Test.make ~name:"kernel/memcpy(spec)"
       (stage (fun () -> Bytes.of_string spec_text));
+    (* The flight recorder's hot path: a batch of enabled records into the
+       per-domain ring.  Enable/disable are single atomic stores, so toggling
+       inside the staged function does not perturb the measurement.  Not a
+       byte-streaming kernel — no GB/s column. *)
+    Test.make ~name:"kernel/journal-record(batch=64)"
+      (stage (fun () ->
+           let module J = Cet_telemetry.Journal in
+           J.enable ();
+           for i = 0 to 63 do
+             J.record ~v:i J.Diag "bench/journal"
+           done;
+           J.disable ()));
   ]
 
 (* The substrate's raison d'être: one binary through FunSeeker and the
@@ -352,15 +364,21 @@ let () =
     clang_x86_bin.w_name
     (List.length clang_x86_bin.w_truth);
   let results = run_benchmarks ~quota:!quota tests in
-  (* Kernel rows get a bytes/s column: they all stream the same spec
-     [.text], so the throughput is directly comparable to the memcpy row. *)
+  (* Kernel rows tagged (spec) get a bytes/s column: they all stream the
+     same spec [.text], so the throughput is directly comparable to the
+     memcpy row.  (journal-record streams no bytes and is excluded.) *)
   let text_bytes = float_of_int (String.length spec_text) in
+  let ends_with suffix s =
+    let ls = String.length s and lf = String.length suffix in
+    ls >= lf && String.sub s (ls - lf) lf = suffix
+  in
   List.iter
     (fun r ->
       let throughput =
         if
           String.length r.r_name >= 7
           && String.sub r.r_name 0 7 = "kernel/"
+          && ends_with "(spec)" r.r_name
           && r.r_ns > 0.0
         then Printf.sprintf "  %7.2f GB/s" (text_bytes /. r.r_ns)
         else ""

@@ -37,9 +37,60 @@ let parse_file path =
     dups;
   rows
 
+(* --history BENCH_2.json..BENCH_6.json: the per-row trajectory across every
+   recorded bench file in the range, with a last/first ratio — the long view
+   the pairwise gate cannot give.  Informational: always exits 0 once the
+   range parses and at least two files exist. *)
+let run_history spec =
+  let files =
+    match B.expand_range ~exists:Sys.file_exists spec with
+    | Some files -> files
+    | None ->
+      Printf.eprintf
+        "bench-diff: --history expects a range like BENCH_2.json..BENCH_6.json \
+         (same name around the version number)\n";
+      exit 2
+  in
+  if List.length files < 2 then begin
+    Printf.eprintf
+      "bench-diff: --history %s: fewer than two of the range's files exist\n"
+      spec;
+    exit 2
+  end;
+  let rows = B.history (List.map parse_file files) in
+  let labels =
+    List.map
+      (fun f ->
+        match B.split_version f with Some (_, v, _) -> string_of_int v | None -> f)
+      files
+  in
+  Printf.printf "bench-history: %s (%d files)\n" spec (List.length files);
+  Printf.printf "  %-42s" "test (mean ms per file)";
+  List.iter (fun l -> Printf.printf " %9s" l) labels;
+  Printf.printf "  %9s\n" "last/first";
+  List.iter
+    (fun (h : B.history_row) ->
+      Printf.printf "  %-42s" h.B.h_name;
+      Array.iter
+        (function
+          | Some ns -> Printf.printf " %9.3f" (ns /. 1e6)
+          | None -> Printf.printf " %9s" "-")
+        h.B.h_means;
+      let present = List.filter_map Fun.id (Array.to_list h.B.h_means) in
+      (match present with
+      | first :: (_ :: _ as rest) when first > 0.0 ->
+        let last = List.nth rest (List.length rest - 1) in
+        Printf.printf "  %8.2fx" (last /. first)
+      | _ -> Printf.printf "  %9s" "-");
+      print_newline ())
+    rows;
+  Printf.printf "tracked %d tests across %d files\n" (List.length rows)
+    (List.length files)
+
 let () =
   let threshold = ref 20.0 in
   let require_all = ref false in
+  let history = ref "" in
   let files = ref [] in
   let speclist =
     [
@@ -49,11 +100,20 @@ let () =
       ( "--require-all",
         Arg.Set require_all,
         " fail when a test present in OLD is missing from NEW" );
+      ( "--history",
+        Arg.Set_string history,
+        "RANGE  render the per-row trajectory across a FIRST.json..LAST.json \
+         range instead of a pairwise diff" );
     ]
   in
   Arg.parse speclist
     (fun a -> files := a :: !files)
-    "bench_diff [--threshold PCT] [--require-all] OLD.json NEW.json";
+    "bench_diff [--threshold PCT] [--require-all] OLD.json NEW.json\n\
+    \       bench_diff --history FIRST.json..LAST.json";
+  if !history <> "" then begin
+    run_history !history;
+    exit 0
+  end;
   let old_path, new_path =
     match List.rev !files with
     | [ o; n ] -> (o, n)

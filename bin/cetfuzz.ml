@@ -6,8 +6,9 @@
    crashed, 2 on usage errors. *)
 
 open Cmdliner
+module Journal = Cet_telemetry.Journal
 
-let run_fuzz seed count max_seconds =
+let run_fuzz seed count max_seconds journal =
   if count <= 0 then begin
     Printf.eprintf "cetfuzz: --count must be positive (got %d)\n" count;
     exit 2
@@ -15,6 +16,23 @@ let run_fuzz seed count max_seconds =
   if max_seconds <= 0.0 then begin
     Printf.eprintf "cetfuzz: --max-seconds must be positive (got %g)\n" max_seconds;
     exit 2
+  end;
+  (* The flight recorder gives each crash report a black box: per-mutant
+     markers from the engine plus diag/deadline activity bridged from the
+     layers below. *)
+  if journal then begin
+    Journal.enable ();
+    Cet_util.Deadline.set_observer
+      (Some
+         (fun what slack_ns ->
+           if Journal.enabled () then
+             Journal.record ~v:slack_ns Journal.Deadline_slack what));
+    Cet_util.Diag.Collector.set_observer
+      (Some
+         (fun d ->
+           if Journal.enabled () then
+             Journal.record Journal.Diag
+               (d.Cet_util.Diag.domain ^ "/" ^ d.Cet_util.Diag.code)))
   end;
   let s = Cet_fuzz.Engine.run ~max_seconds ~seed ~count () in
   print_string (Cet_fuzz.Engine.render s);
@@ -32,6 +50,14 @@ let max_seconds =
   let doc = "Per-mutant analysis deadline in seconds (the no-hang bound).  Must be positive." in
   Arg.(value & opt float 2.0 & info [ "max-seconds" ] ~doc)
 
+let journal =
+  let doc =
+    "Enable the telemetry flight recorder: every crash report ships the \
+     worker's last journal events (per-mutant markers, diagnostics, deadline \
+     slack) as its black box."
+  in
+  Arg.(value & flag & info [ "journal" ] ~doc)
+
 let cmd =
   let doc = "mutation-fuzz the robust FunSeeker analysis pipeline" in
   Cmd.v
@@ -41,6 +67,6 @@ let cmd =
          Cmd.Exit.info 1 ~doc:"when any mutant crashed the analysis.";
          Cmd.Exit.info 2 ~doc:"on usage errors.";
        ])
-    Term.(const run_fuzz $ seed $ count $ max_seconds)
+    Term.(const run_fuzz $ seed $ count $ max_seconds $ journal)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,16 +8,22 @@
      evaluate --trace-out t.json --trace-format chrome all   # Perfetto-openable trace
      evaluate --max-seconds 5 --quarantine-out q.jsonl all   # fault-isolated run
      evaluate --triage --triage-out triage.jsonl all         # FP/FN root-cause forensics
+     evaluate --profile-out p.jsonl --top-slow 10 all        # per-binary profiles
+     evaluate --slo "funseeker:p99<=50ms" all                # latency objectives
+     evaluate --metrics-out m.prom all                       # OpenMetrics exposition
 
    Exit codes: 0 on success, 1 when binaries were quarantined, 2 on usage
-   errors. *)
+   errors, 3 when a --slo objective was breached. *)
 
 open Cmdliner
 module Telemetry = Cet_telemetry.Registry
+module Journal = Cet_telemetry.Journal
+module Slo = Cet_telemetry.Slo
 module Report = Cet_telemetry.Report
 
 let run_eval what seed scale progress jobs no_timing stats trace_out trace_format
-    max_seconds quarantine_out fail_fast inject_fault triage triage_out =
+    max_seconds quarantine_out fail_fast inject_fault triage triage_out
+    profile_out top_slow slo metrics_out =
   if jobs <= 0 then begin
     Printf.eprintf "evaluate: --jobs must be a positive worker count (got %d)\n" jobs;
     exit 2
@@ -36,6 +42,22 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
     Printf.eprintf "evaluate: --inject-fault must be a positive modulus (got %d)\n" n;
     exit 2
   | _ -> ());
+  if top_slow < 0 then begin
+    Printf.eprintf "evaluate: --top-slow must be non-negative (got %d)\n" top_slow;
+    exit 2
+  end;
+  (* A malformed objective is a usage error before the run, not a surprise
+     after it. *)
+  let objectives =
+    List.map
+      (fun spec ->
+        match Slo.parse spec with
+        | Ok o -> o
+        | Error msg ->
+          Printf.eprintf "evaluate: bad --slo objective %s\n" msg;
+          exit 2)
+      slo
+  in
   (* Open the report files up front so an unwritable path is a usage
      error before hours of evaluation, not after. *)
   let open_report flag = function
@@ -48,10 +70,30 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   in
   let quarantine_oc = open_report "--quarantine-out" quarantine_out in
   let triage_oc = open_report "--triage-out" triage_out in
+  let profile_oc = open_report "--profile-out" profile_out in
+  let metrics_oc = open_report "--metrics-out" metrics_out in
   (* --triage-out implies the forensics pass itself. *)
   let triage = triage || triage_out <> None in
-  if stats || trace_out <> None then
+  let profile = profile_oc <> None || top_slow > 0 in
+  if stats || trace_out <> None || metrics_oc <> None then
     Telemetry.enable ~trace:(trace_out <> None) ();
+  (* The flight recorder feeds the quarantine black boxes and the trace's
+     instant markers; bridge the lower layers' observation hooks to it. *)
+  if quarantine_oc <> None || trace_out <> None then begin
+    Journal.enable ();
+    Cet_util.Deadline.set_observer
+      (Some
+         (fun what slack_ns ->
+           if Journal.enabled () then
+             Journal.record ~v:slack_ns Journal.Deadline_slack what));
+    Cet_util.Diag.Collector.set_observer
+      (Some
+         (fun d ->
+           if Journal.enabled () then
+             Journal.record Journal.Diag
+               (d.Cet_util.Diag.domain ^ "/" ^ d.Cet_util.Diag.code)))
+  end;
+  if objectives <> [] then Slo.enable ();
   let fault =
     match inject_fault with
     | None -> None
@@ -72,6 +114,7 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
       keep_going = not fail_fast;
       fault;
       triage;
+      profile;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -104,6 +147,12 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
         Cet_eval.Tables.Triage.write_jsonl oc results.Cet_eval.Harness.triage;
         Printf.eprintf "triage report written to %s (%d errors)\n" path
           (Cet_eval.Tables.Triage.total results.Cet_eval.Harness.triage));
+      (match profile_oc with
+      | None -> ()
+      | Some (path, oc) ->
+        Cet_eval.Harness.write_profiles oc results;
+        Printf.eprintf "profile report written to %s (%d rows)\n" path
+          (List.length results.Cet_eval.Harness.profiles));
       let base =
         match what with
         | "all" -> Cet_eval.Harness.render_all results
@@ -112,8 +161,13 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
         | "table2" -> Cet_eval.Tables.Table2.render results.table2
         | _ -> Cet_eval.Tables.Table3.render results.table3
       in
-      if triage then
-        base ^ "\n" ^ Cet_eval.Tables.Triage.render results.Cet_eval.Harness.triage
+      let base =
+        if triage then
+          base ^ "\n" ^ Cet_eval.Tables.Triage.render results.Cet_eval.Harness.triage
+        else base
+      in
+      if top_slow > 0 then
+        base ^ "\n" ^ Cet_eval.Harness.render_top_slow results top_slow
       else base
     | other ->
       Printf.eprintf
@@ -124,6 +178,7 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   in
   Option.iter (fun (_, oc) -> close_out oc) quarantine_oc;
   Option.iter (fun (_, oc) -> close_out oc) triage_oc;
+  Option.iter (fun (_, oc) -> close_out oc) profile_oc;
   let wall = Unix.gettimeofday () -. t0 in
   print_string out;
   if stats then begin
@@ -148,6 +203,20 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
     in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
     Printf.eprintf "trace written to %s (%s)\n" path trace_format);
+  (match metrics_oc with
+  | None -> ()
+  | Some (path, oc) ->
+    Report.write_openmetrics oc;
+    close_out oc;
+    Printf.eprintf "metrics written to %s\n" path);
+  (* Objectives are checked over everything observed this run; any breach
+     (including an objective nothing matched) trumps the other statuses —
+     a gated pipeline must see the gate fail. *)
+  if objectives <> [] then begin
+    let verdicts = Slo.check objectives in
+    prerr_string (Slo.render verdicts);
+    if Slo.breached verdicts then status := 3
+  end;
   !status
 
 let what =
@@ -163,7 +232,7 @@ let scale =
   Arg.(value & opt float 0.25 & info [ "scale" ] ~doc)
 
 let progress =
-  let doc = "Print a live done/total progress line (with rate and ETA) to stderr." in
+  let doc = "Print a live done/total progress line (with EWMA-smoothed rate and ETA) to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
 let jobs =
@@ -177,7 +246,7 @@ let no_timing =
   let doc =
     "Skip the wall-clock measurements behind Table III's Time(ms) columns \
      (they become 0.000), making the output fully deterministic in --seed. \
-     Also zeroes the time fields of the --stats report."
+     Also zeroes the time fields of the --stats report and of --profile-out rows."
   in
   Arg.(value & flag & info [ "no-timing" ] ~doc)
 
@@ -191,7 +260,8 @@ let stats =
 let trace_out =
   let doc =
     "Write a JSON-lines trace (one object per completed span, plus per-phase \
-     and counter summaries) to $(docv).  Implies telemetry recording."
+     and counter summaries) to $(docv).  Implies telemetry recording (and the \
+     flight recorder, for instant failure markers in chrome format)."
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
@@ -215,8 +285,9 @@ let max_seconds =
 let quarantine_out =
   let doc =
     "Write quarantined binaries as JSON lines (suite, program, config, \
-     attempts, error, backtrace) to $(docv).  The file is opened before the \
-     run, so an unwritable path fails fast with exit code 2."
+     attempts, error, backtrace, and the worker's flight-recorder black box) \
+     to $(docv).  The file is opened before the run, so an unwritable path \
+     fails fast with exit code 2.  Implies the flight recorder."
   in
   Arg.(value & opt (some string) None & info [ "quarantine-out" ] ~docv:"FILE" ~doc)
 
@@ -254,6 +325,44 @@ let triage_out =
   in
   Arg.(value & opt (some string) None & info [ "triage-out" ] ~docv:"FILE" ~doc)
 
+let profile_out =
+  let doc =
+    "Write one JSON line per evaluated binary (identity, phase time split, \
+     instructions decoded, resync errors, diag count, retry/quarantine \
+     status) to $(docv).  Rows are in plan order; with --no-timing the file \
+     is byte-identical across --jobs.  The file is opened before the run, so \
+     an unwritable path fails fast with exit code 2."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let top_slow =
+  let doc =
+    "Append a table of the $(docv) slowest binaries (by total evaluation \
+     time) to the output.  Implies per-binary profiling.  Must be \
+     non-negative; 0 (the default) disables the table."
+  in
+  Arg.(value & opt int 0 & info [ "top-slow" ] ~docv:"K" ~doc)
+
+let slo =
+  let doc =
+    "Check a latency objective at the end of the run, e.g. \
+     $(b,funseeker:p99<=50ms) or $(b,binary/gcc-x64-O2-cet:max<=1s).  The \
+     statistic is $(b,pNN) or $(b,max) over per-binary tool latencies; a \
+     bare tool name aggregates every configuration, $(b,tool/config) matches \
+     one.  Repeatable.  Any breached (or unmatched) objective makes the run \
+     exit 3."
+  in
+  Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"OBJECTIVE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write a Prometheus/OpenMetrics text exposition of every telemetry \
+     counter, gauge and phase histogram to $(docv).  Implies telemetry \
+     recording.  The file is opened before the run, so an unwritable path \
+     fails fast with exit code 2."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the FunSeeker paper's tables and figures" in
   Cmd.v
@@ -262,10 +371,12 @@ let cmd =
          Cmd.Exit.info 0 ~doc:"on success.";
          Cmd.Exit.info 1 ~doc:"when binaries were quarantined.";
          Cmd.Exit.info 2 ~doc:"on usage errors (bad flags, unknown experiment).";
+         Cmd.Exit.info 3 ~doc:"when an --slo objective was breached.";
        ])
     Term.(
       const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing $ stats
       $ trace_out $ trace_format $ max_seconds $ quarantine_out $ fail_fast
-      $ inject_fault $ triage $ triage_out)
+      $ inject_fault $ triage $ triage_out $ profile_out $ top_slow $ slo
+      $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

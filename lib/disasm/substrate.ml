@@ -13,7 +13,12 @@ type indexes = {
   jmp_targets : int array;
 }
 
-type facts = { f_base : int; f_size : int; f_resync_errors : int }
+type facts = {
+  f_base : int;
+  f_size : int;
+  f_resync_errors : int;
+  f_insns : int;
+}
 
 type t = {
   t_reader : Reader.t;
@@ -76,7 +81,12 @@ let sweep_anchored t =
     s
 
 let facts_of_sweep (sw : Linear.t) =
-  { f_base = sw.Linear.base; f_size = sw.Linear.size; f_resync_errors = sw.Linear.resync_errors }
+  {
+    f_base = sw.Linear.base;
+    f_size = sw.Linear.size;
+    f_resync_errors = sw.Linear.resync_errors;
+    f_insns = Array.length sw.Linear.insns;
+  }
 
 let in_text fx addr = addr >= fx.f_base && addr < fx.f_base + fx.f_size
 let text_end fx = fx.f_base + fx.f_size
@@ -180,6 +190,7 @@ let scan_section arch ~anchored rd (sec : Reader.section) =
   let js = ibuf_create () and jt = ibuf_create () in
   let s = Decoder.scratch () in
   let errors = ref 0 in
+  let insns = ref 0 in
   let off = ref pos in
   let tick = ref 0 in
   let harvest () =
@@ -206,6 +217,7 @@ let scan_section arch ~anchored rd (sec : Reader.section) =
       if !tick land scan_deadline_mask = 0 then Cet_util.Deadline.check "disasm.scan";
       if Decoder.scan arch s buf ~limit ~base ~off:!off then begin
         desynced := false;
+        incr insns;
         let ilen = Decoder.scratch_len s in
         if Prescan.window_has_candidate cls ~off:(!off - pos) ~len:ilen then harvest ();
         off := !off + ilen
@@ -247,6 +259,7 @@ let scan_section arch ~anchored rd (sec : Reader.section) =
           off := a
         end
         else begin
+          incr insns;
           if Prescan.window_has_candidate cls ~off:(!off - pos) ~len:(Decoder.scratch_len s)
           then harvest ();
           off := stop
@@ -259,7 +272,7 @@ let scan_section arch ~anchored rd (sec : Reader.section) =
     done
   end;
   ( finish_indexes ~in_text:in_range ~eb ~cs ~cr ~ct ~js ~jt,
-    { f_base = vaddr; f_size = len; f_resync_errors = !errors } )
+    { f_base = vaddr; f_size = len; f_resync_errors = !errors; f_insns = !insns } )
 
 let scan_section arch ~anchored rd sec =
   if Cet_telemetry.Span.enabled () then

@@ -42,6 +42,10 @@ type facts = {
   f_resync_errors : int;
       (** desynchronisation events, exactly {!Linear.t.resync_errors} of
           the corresponding sweep *)
+  f_insns : int;
+      (** instructions decoded and kept, exactly the length of the
+          corresponding sweep's stream (anchored: untrusted runs excluded)
+          — per-binary profiles report this as decode volume *)
 }
 (** The sweep-level facts FunSeeker's analysis needs — deliberately not
     the instruction stream.  Computed either from a memoised sweep or by

@@ -13,6 +13,7 @@ type options = {
   keep_going : bool;
   fault : (Dataset.binary -> bool) option;
   triage : bool;
+  profile : bool;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     keep_going = true;
     fault = None;
     triage = false;
+    profile = false;
   }
 
 type failure = {
@@ -34,7 +36,30 @@ type failure = {
   f_attempts : int;
   f_error : string;
   f_backtrace : string;
+  f_journal : Cet_telemetry.Journal.event list;
 }
+
+type profile = {
+  p_suite : string;
+  p_program : string;
+  p_config : string;
+  p_arch : string;
+  p_text_bytes : int;
+  p_insns : int;
+  p_resyncs : int;
+  p_truth : int;
+  p_diags : int;
+  p_attempts : int;
+  p_status : string;
+  p_total_ms : float;
+  p_phases : (string * float) list;
+}
+
+(* Fixed phase vocabulary so every profile row carries the same keys in the
+   same order — the JSONL output is diffable and byte-identical across
+   [~jobs] under [timing = false]. *)
+let profile_phase_names =
+  [ "study"; "configs"; "funseeker"; "ida"; "ghidra"; "fetch"; "triage" ]
 
 type results = {
   table1 : Tables.Table1.t;
@@ -45,6 +70,7 @@ type results = {
   binaries : int;
   functions : int;
   failures : failure list;
+  profiles : profile list;
 }
 
 let arch_name = function Cet_x86.Arch.X86 -> "x86" | Cet_x86.Arch.X64 -> "x64"
@@ -70,6 +96,7 @@ let empty_results () =
     binaries = 0;
     functions = 0;
     failures = [];
+    profiles = [];
   }
 
 let merge_results into src =
@@ -83,7 +110,14 @@ let merge_results into src =
     binaries = into.binaries + src.binaries;
     functions = into.functions + src.functions;
     failures = into.failures @ src.failures;
+    profiles = into.profiles @ src.profiles;
   }
+
+(* EWMA over the instantaneous throughput between progress milestones: the
+   first observation seeds the average, later ones smooth with [alpha].
+   Pure, so the smoothing itself is unit-testable. *)
+let ewma_update ~alpha ~prev x =
+  match prev with None -> x | Some p -> (alpha *. x) +. ((1.0 -. alpha) *. p)
 
 let run ?profiles ?configs ?jobs (opts : options) =
   Printexc.record_backtrace true;
@@ -94,11 +128,38 @@ let run ?profiles ?configs ?jobs (opts : options) =
   let retried = Atomic.make 0 in
   (* Live status line: done/total with rate and ETA, throttled so the
      stderr traffic stays negligible.  Racing workers may interleave
-     updates, but each is one whole carriage-returned line. *)
+     updates, but each is one whole carriage-returned line.  The rate is
+     EWMA-smoothed over the inter-milestone throughput — a cumulative
+     average makes the early ETA wildly wrong whenever the first binaries
+     are unrepresentative (cold caches, a straggler) — while the final
+     summary below stays the exact cumulative figure. *)
+  let prog_lock = Mutex.create () in
+  let prog_last_t = ref t0 in
+  let prog_last_seen = ref 0 in
+  let prog_rate = ref None in
   let show_progress seen =
     if seen mod 25 = 0 || seen = total_binaries then begin
-      let elapsed = Unix.gettimeofday () -. t0 in
-      let rate = if elapsed > 0.0 then float_of_int seen /. elapsed else 0.0 in
+      let now = Unix.gettimeofday () in
+      let rate =
+        Mutex.protect prog_lock (fun () ->
+            let dt = now -. !prog_last_t in
+            let dn = seen - !prog_last_seen in
+            (* Milestones can arrive out of order from racing workers;
+               only a forward step updates the average. *)
+            if dn > 0 && dt > 0.0 then begin
+              prog_rate :=
+                Some
+                  (ewma_update ~alpha:0.3 ~prev:!prog_rate
+                     (float_of_int dn /. dt));
+              prog_last_t := now;
+              prog_last_seen := seen
+            end;
+            match !prog_rate with
+            | Some r -> r
+            | None ->
+              let elapsed = now -. t0 in
+              if elapsed > 0.0 then float_of_int seen /. elapsed else 0.0)
+      in
       let eta =
         if rate > 0.0 then float_of_int (total_binaries - seen) /. rate else 0.0
       in
@@ -111,6 +172,9 @@ let run ?profiles ?configs ?jobs (opts : options) =
      tables.  Nothing here touches shared state except the progress
      counter, so any domain can evaluate any plan item. *)
   let eval_binary_impl acc (bin : Dataset.binary) =
+    let module J = Cet_telemetry.Journal in
+    let jmark = if J.enabled () then J.mark () else 0 in
+    let bin_t0 = Unix.gettimeofday () in
     (* One substrate per binary per worker: the ELF parse, the sweep, the
        index arrays and the exception-table decode happen once here and
        every consumer below — the study, the four ablation configs, and
@@ -120,24 +184,35 @@ let run ?profiles ?configs ?jobs (opts : options) =
     let compiler = Options.compiler_name bin.config.Options.compiler in
     let suite = bin.suite in
     let arch = arch_name bin.config.Options.arch in
-    (* Table I: end-branch location classes. *)
-    List.iter
-      (fun (_addr, loc) -> Tables.Table1.record acc.table1 ~compiler ~suite loc)
-      (Core.Study.classify_endbrs_st st ~truth);
-    (* Figure 3: per-function property classes. *)
-    List.iter
-      (fun (_addr, props) -> Tables.Fig3.record acc.fig3 props)
-      (Core.Study.function_props_st st ~truth);
+    let config_s = Options.to_string bin.config in
+    (* Table I (end-branch location classes) and Figure 3 (per-function
+       property classes). *)
+    let (), study_time =
+      timed
+        (fun () ->
+          List.iter
+            (fun (_addr, loc) -> Tables.Table1.record acc.table1 ~compiler ~suite loc)
+            (Core.Study.classify_endbrs_st st ~truth);
+          List.iter
+            (fun (_addr, props) -> Tables.Fig3.record acc.fig3 props)
+            (Core.Study.function_props_st st ~truth))
+        ()
+    in
     (* Table II: the four FunSeeker configurations. *)
-    List.iteri
-      (fun i config ->
-        let r = Core.Funseeker.analyze_st ~config st in
-        Tables.Table2.record acc.table2 ~compiler ~suite ~config:(i + 1)
-          (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
-      [
-        Core.Funseeker.config1; Core.Funseeker.config2; Core.Funseeker.config3;
-        Core.Funseeker.config4;
-      ];
+    let (), configs_time =
+      timed
+        (fun () ->
+          List.iteri
+            (fun i config ->
+              let r = Core.Funseeker.analyze_st ~config st in
+              Tables.Table2.record acc.table2 ~compiler ~suite ~config:(i + 1)
+                (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
+            [
+              Core.Funseeker.config1; Core.Funseeker.config2;
+              Core.Funseeker.config3; Core.Funseeker.config4;
+            ])
+        ()
+    in
     (* Table III: tool comparison with timing for FunSeeker and FETCH.
        Timed runs measure each tool's own analysis over the shared
        substrate — the once-per-binary parse and sweep are excluded (see
@@ -152,10 +227,10 @@ let run ?profiles ?configs ?jobs (opts : options) =
       (Metrics.compare_sets ~truth ~found:fs);
     if opts.timing then
       Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"funseeker" fs_time;
-    let ida = Cet_baselines.Ida_like.analyze_st st in
+    let ida, ida_time = timed Cet_baselines.Ida_like.analyze_st st in
     Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ida"
       (Metrics.compare_sets ~truth ~found:ida);
-    let ghidra = Cet_baselines.Ghidra_like.analyze_st st in
+    let ghidra, ghidra_time = timed Cet_baselines.Ghidra_like.analyze_st st in
     Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ghidra"
       (Metrics.compare_sets ~truth ~found:ghidra);
     let fetch, fetch_time = timed Cet_baselines.Fetch.analyze_st st in
@@ -167,16 +242,69 @@ let run ?profiles ?configs ?jobs (opts : options) =
        provenance, join the identified set against ground truth, and bucket
        every false positive / false negative by root cause, keyed by this
        binary's compilation configuration. *)
-    if opts.triage then begin
-      let _r, prov = Core.Funseeker.analyze_prov st in
-      let pads = Substrate.landing_pads st in
-      let config = Options.to_string bin.config in
-      List.iter
-        (fun (_addr, b) ->
-          Tables.Triage.record acc.triage ~config
-            ~bucket:(Core.Provenance.bucket_name b))
-        (Core.Provenance.errors prov ~truth ~pads)
+    let (), triage_time =
+      timed
+        (fun () ->
+          if opts.triage then begin
+            let _r, prov = Core.Funseeker.analyze_prov st in
+            let pads = Substrate.landing_pads st in
+            List.iter
+              (fun (_addr, b) ->
+                Tables.Triage.record acc.triage ~config:config_s
+                  ~bucket:(Core.Provenance.bucket_name b))
+              (Core.Provenance.errors prov ~truth ~pads)
+          end)
+        ()
+    in
+    (* Per-(tool,config) end-to-end latency samples for SLO checking; one
+       atomic load when disabled. *)
+    if Cet_telemetry.Slo.enabled () then begin
+      let obs tool t =
+        Cet_telemetry.Slo.observe ~tool ~config:config_s
+          (int_of_float (t *. 1e9))
+      in
+      obs "funseeker" fs_time;
+      obs "ida" ida_time;
+      obs "ghidra" ghidra_time;
+      obs "fetch" fetch_time;
+      obs "binary" (Unix.gettimeofday () -. bin_t0)
     end;
+    (* The per-binary profile record: identity, decode volume from the
+       substrate facts, journal-observed diag volume, and the phase split.
+       Under [timing = false] every clock figure renders as zero so the
+       JSONL row set is byte-identical across [~jobs]. *)
+    let acc =
+      if not opts.profile then acc
+      else begin
+        let fx = Substrate.facts st in
+        let total_time = Unix.gettimeofday () -. bin_t0 in
+        let ms t = if opts.timing then t *. 1e3 else 0.0 in
+        let p =
+          {
+            p_suite = suite;
+            p_program = bin.program;
+            p_config = config_s;
+            p_arch = arch;
+            p_text_bytes = fx.Substrate.f_size;
+            p_insns = fx.Substrate.f_insns;
+            p_resyncs = fx.Substrate.f_resync_errors;
+            p_truth = List.length truth;
+            p_diags = (if J.enabled () then J.count_kind_since jmark J.Diag else 0);
+            p_attempts = 1;
+            p_status = "ok";
+            p_total_ms = ms total_time;
+            p_phases =
+              List.combine profile_phase_names
+                (List.map ms
+                   [
+                     study_time; configs_time; fs_time; ida_time; ghidra_time;
+                     fetch_time; triage_time;
+                   ]);
+          }
+        in
+        { acc with profiles = acc.profiles @ [ p ] }
+      end
+    in
     { acc with binaries = acc.binaries + 1; functions = acc.functions + List.length truth }
   in
   (* Fault isolation: every binary is evaluated into a FRESH accumulator
@@ -209,7 +337,38 @@ let run ?profiles ?configs ?jobs (opts : options) =
       f_attempts = attempts;
       f_error = Printexc.to_string e;
       f_backtrace = Printexc.raw_backtrace_to_string bt;
+      (* The worker's flight recorder at the moment of quarantine: the
+         black box shipped with the failure record ([] when disabled). *)
+      f_journal = Cet_telemetry.Journal.recent ~n:32 ();
     }
+  in
+  (* A quarantined binary still gets a profile row — identity, attempts and
+     status, with the analysis-derived figures zeroed (the failed attempt's
+     partial work is discarded with its accumulator). *)
+  let quarantined_profile (bin : Dataset.binary) ~attempts =
+    {
+      p_suite = bin.suite;
+      p_program = bin.program;
+      p_config = Options.to_string bin.config;
+      p_arch = arch_name bin.config.Options.arch;
+      p_text_bytes = 0;
+      p_insns = 0;
+      p_resyncs = 0;
+      p_truth = 0;
+      p_diags = 0;
+      p_attempts = attempts;
+      p_status = "quarantined";
+      p_total_ms = 0.0;
+      p_phases = List.map (fun n -> (n, 0.0)) profile_phase_names;
+    }
+  in
+  let set_attempts n fresh =
+    if not opts.profile then fresh
+    else
+      {
+        fresh with
+        profiles = List.map (fun p -> { p with p_attempts = n }) fresh.profiles;
+      }
   in
   let eval_binary acc (bin : Dataset.binary) =
     let acc =
@@ -222,11 +381,23 @@ let run ?profiles ?configs ?jobs (opts : options) =
         let retryable = match e1 with Cet_util.Deadline.Expired _ -> false | _ -> true in
         if retryable then begin
           Atomic.incr retried;
-          Cet_telemetry.Registry.count "harness.retried"
+          Cet_telemetry.Registry.count "harness.retried";
+          if Cet_telemetry.Journal.enabled () then
+            Cet_telemetry.Journal.record ~v:2 Cet_telemetry.Journal.Retry
+              (bin.suite ^ "/" ^ bin.program)
         end;
         let quarantine ~attempts e bt =
           if not opts.keep_going then Printexc.raise_with_backtrace e bt;
           Cet_telemetry.Registry.count "harness.quarantined";
+          if Cet_telemetry.Journal.enabled () then
+            Cet_telemetry.Journal.record ~v:attempts
+              Cet_telemetry.Journal.Quarantine
+              (bin.suite ^ "/" ^ bin.program);
+          let acc =
+            if not opts.profile then acc
+            else
+              { acc with profiles = acc.profiles @ [ quarantined_profile bin ~attempts ] }
+          in
           { acc with failures = acc.failures @ [ failure_of bin ~attempts e bt ] }
         in
         if not retryable then quarantine ~attempts:1 e1 bt1
@@ -234,7 +405,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
           match attempt bin with
           | fresh ->
             Cet_telemetry.Registry.count "harness.binaries";
-            merge_results acc fresh
+            merge_results acc (set_attempts 2 fresh)
           | exception e2 ->
             let bt2 = Printexc.get_raw_backtrace () in
             quarantine ~attempts:2 e2 bt2)
@@ -537,11 +708,63 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let journal_event_json (e : Cet_telemetry.Journal.event) =
+  Printf.sprintf "{\"kind\":\"%s\",\"name\":\"%s\",\"v\":%d,\"ns\":%d}"
+    (Cet_telemetry.Journal.kind_label e.Cet_telemetry.Journal.j_kind)
+    (json_escape e.Cet_telemetry.Journal.j_name)
+    e.Cet_telemetry.Journal.j_v e.Cet_telemetry.Journal.j_ns
+
 let write_quarantine oc r =
   List.iter
     (fun f ->
       Printf.fprintf oc
-        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"attempts\":%d,\"error\":\"%s\",\"backtrace\":\"%s\"}\n"
+        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"attempts\":%d,\"error\":\"%s\",\"backtrace\":\"%s\",\"journal\":[%s]}\n"
         (json_escape f.f_suite) (json_escape f.f_program) (json_escape f.f_config)
-        f.f_attempts (json_escape f.f_error) (json_escape f.f_backtrace))
+        f.f_attempts (json_escape f.f_error) (json_escape f.f_backtrace)
+        (String.concat "," (List.map journal_event_json f.f_journal)))
     r.failures
+
+let write_profiles oc r =
+  List.iter
+    (fun p ->
+      let phases =
+        String.concat ","
+          (List.map
+             (fun (n, t) -> Printf.sprintf "\"%s\":%.3f" (json_escape n) t)
+             p.p_phases)
+      in
+      Printf.fprintf oc
+        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"arch\":\"%s\",\"text_bytes\":%d,\"insns\":%d,\"resyncs\":%d,\"truth\":%d,\"diags\":%d,\"attempts\":%d,\"status\":\"%s\",\"total_ms\":%.3f,\"phases\":{%s}}\n"
+        (json_escape p.p_suite) (json_escape p.p_program) (json_escape p.p_config)
+        (json_escape p.p_arch) p.p_text_bytes p.p_insns p.p_resyncs p.p_truth
+        p.p_diags p.p_attempts (json_escape p.p_status) p.p_total_ms phases)
+    r.profiles
+
+let top_slow r k =
+  if k <= 0 then []
+  else
+    (* Stable on ties so equal-cost rows keep plan order. *)
+    let sorted =
+      List.stable_sort (fun a b -> compare b.p_total_ms a.p_total_ms) r.profiles
+    in
+    List.filteri (fun i _ -> i < k) sorted
+
+let render_top_slow r k =
+  match top_slow r k with
+  | [] -> ""
+  | ps ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "SLOWEST BINARIES (top %d of %d profiled)\n" (List.length ps)
+         (List.length r.profiles));
+    Buffer.add_string buf
+      (Printf.sprintf "  %-34s %-22s %10s %9s %8s  %s\n" "binary" "config"
+         "total(ms)" "insns" "resyncs" "status");
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-34s %-22s %10.3f %9d %8d  %s\n"
+             (p.p_suite ^ "/" ^ p.p_program)
+             p.p_config p.p_total_ms p.p_insns p.p_resyncs p.p_status))
+      ps;
+    Buffer.contents buf

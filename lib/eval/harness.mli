@@ -40,6 +40,11 @@ type options = {
           positive / false negative by root cause into
           {!results.triage}.  Off by default — the extra provenance pass
           costs a second full-config run per binary. *)
+  profile : bool;
+      (** per-binary profiling: emit one {!profile} record per evaluated
+          binary into {!results.profiles} (identity, phase time split,
+          decode volume, retry/quarantine status).  Off by default; the
+          disabled path adds no allocation to the per-binary loop. *)
 }
 
 val default_options : options
@@ -54,7 +59,39 @@ type failure = {
   f_attempts : int;  (** 1 for non-retryable failures (deadline), else 2 *)
   f_error : string;
   f_backtrace : string;
+  f_journal : Cet_telemetry.Journal.event list;
+      (** the worker's last flight-recorder events at quarantine time (its
+          black box); [[]] when the journal is disabled *)
 }
+
+(** One evaluated binary's profile: identity, decode volume, the phase
+    time split, and how its evaluation ended.  Under [timing = false]
+    every clock figure is zero, so the row is deterministic in the seed. *)
+type profile = {
+  p_suite : string;
+  p_program : string;
+  p_config : string;  (** {!Cet_compiler.Options.to_string} descriptor *)
+  p_arch : string;  (** ["x86"] or ["x64"] *)
+  p_text_bytes : int;  (** [.text] size ({!Cet_disasm.Substrate.facts}) *)
+  p_insns : int;  (** instructions decoded by the linear sweep *)
+  p_resyncs : int;  (** sweep desynchronisation events *)
+  p_truth : int;  (** deduplicated ground-truth entry count *)
+  p_diags : int;  (** journal-observed diagnostics during this binary *)
+  p_attempts : int;  (** 1, or 2 when the first attempt was retried *)
+  p_status : string;  (** ["ok"] or ["quarantined"] *)
+  p_total_ms : float;
+  p_phases : (string * float) list;
+      (** fixed vocabulary in fixed order — study, configs, funseeker,
+          ida, ghidra, fetch, triage — each in milliseconds *)
+}
+
+val profile_phase_names : string list
+
+val ewma_update : alpha:float -> prev:float option -> float -> float
+(** One exponentially-weighted-moving-average step: the first observation
+    seeds the average ([prev = None]), later ones blend with weight
+    [alpha] on the new sample.  The [--progress] ETA uses this over
+    inter-milestone throughput. *)
 
 type results = {
   table1 : Tables.Table1.t;
@@ -67,6 +104,10 @@ type results = {
   binaries : int;  (** successfully evaluated binaries *)
   functions : int;  (** total ground-truth functions across the dataset *)
   failures : failure list;  (** quarantined binaries, in plan order *)
+  profiles : profile list;
+      (** per-binary profiles in plan order (including quarantined
+          binaries, with zeroed analysis figures); empty unless
+          {!options.profile} was set *)
 }
 
 val run :
@@ -89,8 +130,22 @@ val render_failures : results -> string
 
 val write_quarantine : out_channel -> results -> unit
 (** One JSON object per failure per line
-    ([suite]/[program]/[config]/[attempts]/[error]/[backtrace]) — the
-    [--quarantine-out] report format. *)
+    ([suite]/[program]/[config]/[attempts]/[error]/[backtrace]/[journal])
+    — the [--quarantine-out] report format.  [journal] is the failure's
+    flight-recorder black box, one object per event. *)
+
+val write_profiles : out_channel -> results -> unit
+(** One JSON object per profile per line, keys in a fixed order ([suite],
+    [program], [config], [arch], [text_bytes], [insns], [resyncs],
+    [truth], [diags], [attempts], [status], [total_ms], [phases]) — the
+    [--profile-out] report format.  Rows are in plan order and, under
+    [timing = false], byte-identical across [~jobs]. *)
+
+val top_slow : results -> int -> profile list
+(** The [k] profiles with the largest [p_total_ms], ties in plan order. *)
+
+val render_top_slow : results -> int -> string
+(** Aligned table over {!top_slow}; [""] when nothing was profiled. *)
 
 val arch_name : Cet_x86.Arch.t -> string
 (** Table III row key: ["x86"] or ["x64"]. *)

@@ -138,6 +138,7 @@ type crash = {
   c_index : int;  (** mutant number, for replay with the same seed *)
   c_error : string;
   c_backtrace : string;
+  c_journal : Cet_telemetry.Journal.event list;
 }
 
 type summary = {
@@ -167,6 +168,11 @@ let run ?(max_seconds = 2.0) ~seed ~count () =
     let orig = pool.(Prng.int g (Array.length pool)) in
     let mutant = mutate g ~cls orig in
     let anchored = Prng.bool g in
+    (* One marker per mutant so a crash's black box shows which mutants
+       (and how much analysis activity) led up to it. *)
+    if Cet_telemetry.Journal.enabled () then
+      Cet_telemetry.Journal.record ~v:index Cet_telemetry.Journal.Phase_begin
+        ("fuzz.mutant:" ^ cls);
     match Core.Funseeker.analyze_bytes_diag ~anchored ~max_seconds mutant with
     | Ok (_, []) -> incr clean
     | Ok (_, diags) ->
@@ -181,6 +187,7 @@ let run ?(max_seconds = 2.0) ~seed ~count () =
           c_index = index;
           c_error = Printexc.to_string e;
           c_backtrace = Printexc.raw_backtrace_to_string bt;
+          c_journal = Cet_telemetry.Journal.recent ~n:32 ();
         }
         :: !crashes
   done;
@@ -208,6 +215,14 @@ let render s =
     (fun c ->
       Buffer.add_string b
         (Printf.sprintf "  CRASH [%s] mutant #%d: %s\n%s" c.c_class c.c_index c.c_error
-           c.c_backtrace))
+           c.c_backtrace);
+      if c.c_journal <> [] then begin
+        Buffer.add_string b "  flight recorder (last events before the crash):\n";
+        List.iter
+          (fun e ->
+            Buffer.add_string b
+              ("    " ^ Cet_telemetry.Journal.event_to_string e ^ "\n"))
+          c.c_journal
+      end)
     s.crashes;
   Buffer.contents b

@@ -18,6 +18,10 @@ type crash = {
   c_index : int;  (** mutant number, for replay with the same seed *)
   c_error : string;
   c_backtrace : string;
+  c_journal : Cet_telemetry.Journal.event list;
+      (** flight-recorder black box at crash time: the per-mutant markers
+          and analysis events leading up to the escape ([[]] when the
+          journal is disabled) *)
 }
 
 type summary = {

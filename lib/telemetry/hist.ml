@@ -32,6 +32,13 @@ let add t v =
   let b = bucket_of v in
   t.buckets.(b) <- t.buckets.(b) + 1
 
+let bucket_count t i = t.buckets.(i)
+
+(* Inclusive upper edge of bucket i: 2^(i+1)-1, except the top bucket
+   absorbs everything up to max_int (bucket_of clamps). *)
+let bucket_upper_bound i =
+  if i >= nbuckets - 1 then max_int else (1 lsl (i + 1)) - 1
+
 let count t = t.count
 let sum t = t.sum
 let min_value t = if t.count = 0 then 0 else t.min_v
@@ -43,6 +50,8 @@ let quantile t q =
   else begin
     let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
     let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    if rank >= t.count then Some t.max_v
+    else begin
     let est = ref t.max_v in
     let cum = ref 0 in
     (try
@@ -50,13 +59,17 @@ let quantile t q =
          cum := !cum + t.buckets.(b);
          if !cum >= rank then begin
            let lo = if b = 0 then 0 else 1 lsl b in
-           let hi = (1 lsl (b + 1)) - 1 in
-           est := (lo + hi) / 2;
+           let hi = bucket_upper_bound b in
+           (* lo + (hi-lo)/2, not (lo+hi)/2: the latter overflows for the
+              top buckets (lo + max_int wraps negative) and the estimate
+              would clamp to min_v instead of max_v. *)
+           est := lo + ((hi - lo) / 2);
            raise Exit
          end
        done
      with Exit -> ());
     Some (min t.max_v (max t.min_v !est))
+    end
   end
 
 let merge into src =

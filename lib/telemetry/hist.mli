@@ -10,6 +10,21 @@
 
 type t
 
+val nbuckets : int
+(** 63. *)
+
+val bucket_of : int -> int
+(** The bucket index a sample lands in: bucket [i] covers [2^i <= v <
+    2^(i+1)] (0 and 1 share bucket 0; the top bucket is clamped). *)
+
+val bucket_count : t -> int -> int
+(** Samples recorded in the given bucket index. *)
+
+val bucket_upper_bound : int -> int
+(** Inclusive upper edge of a bucket: [2^(i+1)-1], with the top bucket's
+    edge clamped to [max_int].  Exporters build cumulative [le] bounds
+    from this. *)
+
 val create : unit -> t
 val add : t -> int -> unit
 (** Record one sample; negative values are clamped to 0. *)

@@ -176,11 +176,12 @@ let write_trace oc =
 let write_trace_chrome oc =
   output_string oc "[";
   let first = ref true in
+  let sep () = if !first then first := false else output_string oc ",\n" in
   List.iter
     (fun (s : Registry.sheet) ->
       List.iter
         (fun (e : Registry.event) ->
-          if !first then first := false else output_string oc ",\n";
+          sep ();
           Printf.fprintf oc
             "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
             (json_string e.ev_name)
@@ -189,4 +190,85 @@ let write_trace_chrome oc =
             e.ev_sheet)
         (List.rev s.events))
     (Registry.sheets ());
+  (* Failure-shaped journal events become instant markers on the same
+     timeline (same tid as the domain's span track), so Perfetto shows a
+     diag/retry/quarantine pin at the moment it happened. *)
+  List.iter
+    (fun (r : Journal.ring) ->
+      List.iter
+        (fun (e : Journal.event) ->
+          match e.Journal.j_kind with
+          | Journal.Diag | Journal.Retry | Journal.Quarantine ->
+            sep ();
+            Printf.fprintf oc
+              "{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"s\":\"t\"}"
+              (json_string
+                 (Journal.kind_label e.Journal.j_kind ^ ":" ^ e.Journal.j_name))
+              (float_of_int e.Journal.j_ns /. 1e3)
+              e.Journal.j_ring
+          | Journal.Phase_begin | Journal.Phase_end | Journal.Deadline_slack
+            ->
+            ())
+        (Journal.ring_events r))
+    (Journal.rings ());
   output_string oc "]\n"
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics text exposition                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; registry names use
+   dots and dashes, which all map to '_' under a stable "cet_" prefix. *)
+let metric_name raw =
+  "cet_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      raw
+
+let seconds ns = float_of_int ns /. 1e9
+
+let write_openmetrics oc =
+  let m = Registry.merged () in
+  List.iter
+    (fun (name, (c : Registry.counter)) ->
+      let n = metric_name name in
+      Printf.fprintf oc "# HELP %s Registry counter %s.\n" n name;
+      Printf.fprintf oc "# TYPE %s counter\n" n;
+      Printf.fprintf oc "%s_total %d\n" n c.n)
+    (sorted_bindings m.Registry.counters);
+  List.iter
+    (fun (name, (g : Registry.gauge)) ->
+      let n = metric_name name in
+      Printf.fprintf oc "# HELP %s Registry gauge %s.\n" n name;
+      Printf.fprintf oc "# TYPE %s gauge\n" n;
+      Printf.fprintf oc "%s %.6f\n" n g.g)
+    (sorted_bindings m.Registry.gauges);
+  List.iter
+    (fun (name, (metric : Registry.metric)) ->
+      let h = metric.Registry.hist in
+      let n = metric_name ("phase_" ^ name ^ "_seconds") in
+      Printf.fprintf oc "# HELP %s Span durations for phase %s.\n" n name;
+      Printf.fprintf oc "# TYPE %s histogram\n" n;
+      Printf.fprintf oc "# UNIT %s seconds\n" n;
+      (* Power-of-two ns edges become seconds-valued [le] bounds; emit
+         cumulative counts up to the last occupied bucket, then +Inf. *)
+      let last =
+        let l = ref (-1) in
+        for i = 0 to Hist.nbuckets - 1 do
+          if Hist.bucket_count h i > 0 then l := i
+        done;
+        !l
+      in
+      let cum = ref 0 in
+      for i = 0 to last do
+        cum := !cum + Hist.bucket_count h i;
+        Printf.fprintf oc "%s_bucket{le=\"%.9g\"} %d\n" n
+          (seconds (Hist.bucket_upper_bound i))
+          !cum
+      done;
+      Printf.fprintf oc "%s_bucket{le=\"+Inf\"} %d\n" n (Hist.count h);
+      Printf.fprintf oc "%s_sum %.9f\n" n (seconds (Hist.sum h));
+      Printf.fprintf oc "%s_count %d\n" n (Hist.count h))
+    (sorted_bindings m.Registry.spans);
+  output_string oc "# EOF\n"

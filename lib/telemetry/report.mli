@@ -33,4 +33,15 @@ val write_trace_chrome : out_channel -> unit
 (** The same spans as {!write_trace} in Chrome trace-event format: a JSON
     array of complete ([ph = "X"]) events with microsecond [ts]/[dur],
     one [tid] per registry sheet — drop the file into chrome://tracing or
-    Perfetto to see workers as parallel tracks. *)
+    Perfetto to see workers as parallel tracks.  When the {!Journal} has
+    recorded diag/retry/quarantine events, each becomes an instant
+    ([ph = "i"], thread scope) marker on the owning domain's track, so
+    failures pin themselves onto the span timeline. *)
+
+val write_openmetrics : out_channel -> unit
+(** Prometheus/OpenMetrics text exposition of the merged registry:
+    counters as [cet_<name>_total], gauges as [cet_<name>], span
+    histograms as [cet_phase_<name>_seconds] with cumulative
+    power-of-two-edge [le] buckets, [_sum]/[_count], and a closing
+    [# EOF].  Names are sanitized to the metric grammar ([[a-zA-Z0-9_]]
+    under a [cet_] prefix). *)

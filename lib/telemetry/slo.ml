@@ -1,0 +1,207 @@
+type stat = P of float | Max
+
+type objective = {
+  o_tool : string;
+  o_config : string option;
+  o_stat : stat;
+  o_limit_ns : int;
+  o_raw : string;
+}
+
+(* ---- Parser ---------------------------------------------------------- *)
+
+(* Grammar (one objective per --slo occurrence):
+
+     SPEC   ::= KEY ":" STAT "<=" LIMIT
+     KEY    ::= TOOL | TOOL "/" CONFIG     (no ':' in either part)
+     STAT   ::= "p" FLOAT                  (0 < FLOAT <= 100)
+              | "max"
+     LIMIT  ::= FLOAT UNIT                 (FLOAT >= 0)
+     UNIT   ::= "ns" | "us" | "ms" | "s"
+
+   e.g.  funseeker:p99<=50ms   fetch:max<=1s   binary/gcc-x64:p50<=2ms *)
+
+let parse_limit s =
+  let n = String.length s in
+  let split i = (String.sub s 0 i, String.sub s i (n - i)) in
+  let num, unit =
+    let rec digits i =
+      if i < n && (match s.[i] with '0' .. '9' | '.' | '+' | '-' -> true | _ -> false)
+      then digits (i + 1)
+      else i
+    in
+    split (digits 0)
+  in
+  match (float_of_string_opt num, unit) with
+  | Some v, _ when v < 0.0 -> None
+  | Some v, "ns" -> Some (int_of_float v)
+  | Some v, "us" -> Some (int_of_float (v *. 1e3))
+  | Some v, "ms" -> Some (int_of_float (v *. 1e6))
+  | Some v, "s" -> Some (int_of_float (v *. 1e9))
+  | _ -> None
+
+let parse raw =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt raw ':' with
+  | None -> err "%S: expected TOOL:STAT<=LIMIT (no ':' found)" raw
+  | Some colon -> (
+    let key = String.sub raw 0 colon in
+    let rest = String.sub raw (colon + 1) (String.length raw - colon - 1) in
+    if key = "" then err "%S: empty tool name" raw
+    else
+      let tool, config =
+        match String.index_opt key '/' with
+        | None -> (key, None)
+        | Some slash ->
+          ( String.sub key 0 slash,
+            Some (String.sub key (slash + 1) (String.length key - slash - 1)) )
+      in
+      if tool = "" then err "%S: empty tool name" raw
+      else
+        (* split on the first "<=" *)
+        let n = String.length rest in
+        let rec find i =
+          if i + 2 > n then None
+          else if rest.[i] = '<' && rest.[i + 1] = '=' then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | None -> err "%S: expected STAT<=LIMIT after ':'" raw
+        | Some i -> (
+          let stat_s = String.sub rest 0 i in
+          let limit_s = String.sub rest (i + 2) (n - i - 2) in
+          let stat =
+            if stat_s = "max" then Some Max
+            else if String.length stat_s > 1 && stat_s.[0] = 'p' then
+              match float_of_string_opt (String.sub stat_s 1 (String.length stat_s - 1)) with
+              | Some q when q > 0.0 && q <= 100.0 -> Some (P (q /. 100.0))
+              | _ -> None
+            else None
+          in
+          match (stat, parse_limit limit_s) with
+          | None, _ -> err "%S: bad statistic %S (want pNN or max)" raw stat_s
+          | _, None ->
+            err "%S: bad limit %S (want FLOAT ns|us|ms|s, e.g. 50ms)" raw limit_s
+          | Some o_stat, Some o_limit_ns ->
+            Ok { o_tool = tool; o_config = config; o_stat; o_limit_ns; o_raw = raw }))
+
+(* ---- Per-domain latency sheets --------------------------------------- *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+type sheet = ((string * string), Hist.t) Hashtbl.t
+
+let lock = Mutex.create ()
+let all_sheets : sheet list ref = ref []
+
+let registered_sheet () : sheet =
+  let s = Hashtbl.create 16 in
+  Mutex.protect lock (fun () -> all_sheets := s :: !all_sheets);
+  s
+
+let dls_key = Domain.DLS.new_key registered_sheet
+
+let reset () =
+  Mutex.protect lock (fun () -> List.iter Hashtbl.reset !all_sheets)
+
+let observe ~tool ~config ns =
+  if enabled () then begin
+    let s = Domain.DLS.get dls_key in
+    let key = (tool, config) in
+    let h =
+      match Hashtbl.find_opt s key with
+      | Some h -> h
+      | None ->
+        let h = Hist.create () in
+        Hashtbl.replace s key h;
+        h
+    in
+    Hist.add h (if ns < 0 then 0 else ns)
+  end
+
+(* All sheets folded into one sorted association list; merging histograms
+   is commutative, so the view is independent of worker partitioning. *)
+let merged () =
+  let into : sheet = Hashtbl.create 16 in
+  let sheets = Mutex.protect lock (fun () -> !all_sheets) in
+  List.iter
+    (fun (s : sheet) ->
+      Hashtbl.iter
+        (fun key h ->
+          match Hashtbl.find_opt into key with
+          | Some d -> Hist.merge d h
+          | None ->
+            let d = Hist.create () in
+            Hist.merge d h;
+            Hashtbl.replace into key d)
+        s)
+    sheets;
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) into []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---- Objective checking ---------------------------------------------- *)
+
+type verdict = {
+  v_objective : objective;
+  v_count : int;
+  v_actual_ns : int;  (** -1 when no samples matched the objective's key *)
+  v_ok : bool;
+}
+
+let stat_of_hist stat h =
+  match stat with
+  | Max -> Hist.max_value h
+  | P q -> ( match Hist.quantile h q with Some v -> v | None -> 0)
+
+let check objectives =
+  let cells = merged () in
+  List.map
+    (fun o ->
+      let matching =
+        List.filter
+          (fun ((tool, config), _) ->
+            tool = o.o_tool
+            && match o.o_config with None -> true | Some c -> c = config)
+          cells
+      in
+      let h = Hist.create () in
+      List.iter (fun (_, src) -> Hist.merge h src) matching;
+      if Hist.count h = 0 then
+        (* An objective nothing observed is a breach, not a silent pass: a
+           typo'd tool name must not green-light the run. *)
+        { v_objective = o; v_count = 0; v_actual_ns = -1; v_ok = false }
+      else
+        let actual = stat_of_hist o.o_stat h in
+        {
+          v_objective = o;
+          v_count = Hist.count h;
+          v_actual_ns = actual;
+          v_ok = actual <= o.o_limit_ns;
+        })
+    objectives
+
+let breached verdicts = List.exists (fun v -> not v.v_ok) verdicts
+
+let ms ns = float_of_int ns /. 1e6
+
+let render verdicts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "SLO OBJECTIVES\n";
+  List.iter
+    (fun v ->
+      if v.v_count = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s BREACH (no samples for this key)\n"
+             v.v_objective.o_raw)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %10.3f ms vs %10.3f ms over %6d samples  %s\n"
+             v.v_objective.o_raw (ms v.v_actual_ns)
+             (ms v.v_objective.o_limit_ns)
+             v.v_count
+             (if v.v_ok then "ok" else "BREACH")))
+    verdicts;
+  Buffer.contents buf

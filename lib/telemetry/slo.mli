@@ -1,0 +1,71 @@
+(** Latency objectives over per-(tool,config) histograms.
+
+    The harness observes one end-to-end latency sample per (tool, config,
+    binary) into a per-domain sheet of {!Hist} histograms; at the end of
+    a run [evaluate --slo "tool:p99<=50ms"] merges the sheets and checks
+    each objective, exiting non-zero on breach.  This is the admission /
+    SLO module the future [cetd] daemon inherits (ROADMAP).
+
+    Same guard discipline as {!Registry}: disabled by default, and
+    {!observe} behind a disabled flag is one atomic load — call sites
+    guard with [if Slo.enabled () then Slo.observe ...] so the disabled
+    path is a single branch with zero allocation. *)
+
+(** {1 Objectives} *)
+
+type stat =
+  | P of float  (** quantile in (0, 1]; [P 0.99] is p99 *)
+  | Max
+
+type objective = {
+  o_tool : string;
+  o_config : string option;
+      (** [None] aggregates every config of the tool; [Some c] matches
+          the exact config string. *)
+  o_stat : stat;
+  o_limit_ns : int;
+  o_raw : string;  (** the spec as the user wrote it, for rendering *)
+}
+
+val parse : string -> (objective, string) result
+(** Parse ["TOOL:pNN<=LIMIT"] / ["TOOL:max<=LIMIT"] /
+    ["TOOL/CONFIG:pNN<=LIMIT"], with LIMIT a float suffixed [ns], [us],
+    [ms] or [s] — e.g. ["funseeker:p99<=50ms"].  Errors carry a message
+    naming the bad component. *)
+
+(** {1 Observation} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Empty every registered sheet in place. *)
+
+val observe : tool:string -> config:string -> int -> unit
+(** Record one latency sample in nanoseconds against (tool, config) in
+    the calling domain's sheet.  No-op when disabled — guard hot call
+    sites with {!enabled}.  Negative samples clamp to 0. *)
+
+val merged : unit -> ((string * string) * Hist.t) list
+(** All domains' sheets folded into one view, sorted by (tool, config);
+    independent of worker partitioning (histogram merge commutes). *)
+
+(** {1 Checking} *)
+
+type verdict = {
+  v_objective : objective;
+  v_count : int;  (** samples matched *)
+  v_actual_ns : int;  (** measured statistic; -1 when no samples matched *)
+  v_ok : bool;
+}
+
+val check : objective list -> verdict list
+(** One verdict per objective, in input order.  An objective whose key
+    matched no samples is a breach ([v_ok = false]) — a typo'd tool name
+    must not green-light the run. *)
+
+val breached : verdict list -> bool
+
+val render : verdict list -> string
+(** Human-readable verdict table (trailing newline included). *)

@@ -86,6 +86,77 @@ let parse_lines lines =
     lines;
   (List.rev !rows, List.rev !dups)
 
+(* ---- History (trajectory across many files) ------------------------- *)
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Decompose a filename around its LAST digit run: "BENCH_12.json" ->
+   ("BENCH_", 12, ".json").  The last run is the version counter in the
+   harness's naming scheme; earlier digits (a directory like "v2/") stay
+   in the prefix. *)
+let split_version name =
+  let n = String.length name in
+  let rec find_end i =
+    if i < 0 then None else if is_digit name.[i] then Some i else find_end (i - 1)
+  in
+  match find_end (n - 1) with
+  | None -> None
+  | Some e ->
+    let rec find_start i = if i >= 0 && is_digit name.[i] then find_start (i - 1) else i + 1 in
+    let st = find_start e in
+    match int_of_string_opt (String.sub name st (e - st + 1)) with
+    | None -> None
+    | Some v -> Some (String.sub name 0 st, v, String.sub name (e + 1) (n - e - 1))
+
+let expand_range ~exists spec =
+  let n = String.length spec in
+  let rec find_sep i =
+    if i + 2 > n then None
+    else if spec.[i] = '.' && spec.[i + 1] = '.' then Some i
+    else find_sep (i + 1)
+  in
+  (* Use the LAST ".." so a lone ".." inside the left filename cannot split
+     the range early ("a..b..c" is ambiguous either way; last wins). *)
+  let rec last_sep best i =
+    match find_sep i with None -> best | Some j -> last_sep (Some j) (j + 1)
+  in
+  match last_sep None 0 with
+  | None -> None
+  | Some i -> (
+    let left = String.sub spec 0 i in
+    let right = String.sub spec (i + 2) (n - i - 2) in
+    match (split_version left, split_version right) with
+    | Some (p1, lo, s1), Some (p2, hi, s2) when p1 = p2 && s1 = s2 && lo <= hi ->
+      Some
+        (List.filter exists
+           (List.init (hi - lo + 1) (fun k ->
+                Printf.sprintf "%s%d%s" p1 (lo + k) s1)))
+    | _ -> None)
+
+type history_row = { h_name : string; h_means : float option array }
+
+let history tables =
+  let nfiles = List.length tables in
+  let order = ref [] in
+  let idx : (string, float option array) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun fi rows ->
+      List.iter
+        (fun r ->
+          let arr =
+            match Hashtbl.find_opt idx r.name with
+            | Some arr -> arr
+            | None ->
+              let arr = Array.make nfiles None in
+              Hashtbl.replace idx r.name arr;
+              order := r.name :: !order;
+              arr
+          in
+          if arr.(fi) = None then arr.(fi) <- Some r.mean_ns)
+        rows)
+    tables;
+  List.rev_map (fun name -> { h_name = name; h_means = Hashtbl.find idx name }) !order
+
 type comparison = {
   c_name : string;
   c_old_ns : float;

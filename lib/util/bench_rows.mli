@@ -25,6 +25,28 @@ val parse_lines : string list -> row list * string list
 (** All rows in emitted order plus the list of duplicate names that were
     dropped (first occurrence of each name wins). *)
 
+val split_version : string -> (string * int * string) option
+(** Decompose a filename around its {e last} digit run:
+    ["BENCH_12.json"] is [Some ("BENCH_", 12, ".json")]; [None] when the
+    name has no digits. *)
+
+val expand_range : exists:(string -> bool) -> string -> string list option
+(** Expand a ["BENCH_2.json..BENCH_6.json"]-style range into the filenames
+    between the two version counters (inclusive), dropping those [exists]
+    rejects.  [None] when the spec has no [".."], the endpoints do not
+    share a prefix/suffix around their last digit run, or the range is
+    inverted. *)
+
+type history_row = {
+  h_name : string;
+  h_means : float option array;  (** one slot per input file, in order *)
+}
+
+val history : row list list -> history_row list
+(** Join many files' rows by name (first-appearance order): one row per
+    distinct test, with [None] where a file lacks it — the
+    [bench_diff --history] trajectory view. *)
+
 type comparison = {
   c_name : string;
   c_old_ns : float;

@@ -43,12 +43,29 @@ let expired () =
   | None -> false
   | Some s -> Unix.gettimeofday () >= s.until
 
+(* Observation hook: this module sits below the telemetry library, so the
+   flight recorder can't be called directly — whoever owns both layers
+   (the evaluate/cetfuzz drivers) installs a callback instead.  The
+   [observing] atomic keeps the unobserved path free of the ref read. *)
+let observing = Atomic.make false
+let observer : (string -> int -> unit) ref = ref (fun _ _ -> ())
+
+let set_observer = function
+  | None ->
+    Atomic.set observing false;
+    observer := fun _ _ -> ()
+  | Some f ->
+    observer := f;
+    Atomic.set observing true
+
 let check what =
   if active () then
     match Domain.DLS.get key with
     | None -> ()
     | Some s ->
+      let now = Unix.gettimeofday () in
       (* >= so a budget below the clock's resolution (until == now at arm
          time) still reads as expired on the very next check. *)
-      if Unix.gettimeofday () >= s.until then
-        raise (Expired { what; seconds = s.budget })
+      if now >= s.until then raise (Expired { what; seconds = s.budget })
+      else if Atomic.get observing then
+        !observer what (int_of_float ((s.until -. now) *. 1e9))

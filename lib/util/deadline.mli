@@ -28,3 +28,11 @@ val expired : unit -> bool
 val check : string -> unit
 (** Raise {!Expired} if the calling domain's deadline has passed; no-op
     when none is armed.  The argument names the checking loop. *)
+
+val set_observer : (string -> int -> unit) option -> unit
+(** Install (or with [None] remove) a slack observer: every non-expired
+    {!check} under an armed deadline calls it with the checking loop's
+    name and the remaining budget in nanoseconds.  This module sits below
+    the telemetry library, so the driver that owns both installs the
+    flight-recorder bridge here.  The unobserved path costs one atomic
+    load; observers must be domain-safe (the flight recorder is). *)

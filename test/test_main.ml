@@ -5,4 +5,5 @@ let () =
    @ Test_compiler.suite @ Test_corpus.suite @ Test_funseeker.suite
    @ Test_baselines.suite @ Test_substrate.suite @ Test_eval.suite
    @ Test_arm.suite @ Test_edge.suite @ Test_cfg.suite @ Test_telemetry.suite
-   @ Test_robust.suite @ Test_provenance.suite @ Test_prescan.suite)
+   @ Test_robust.suite @ Test_provenance.suite @ Test_prescan.suite
+   @ Test_observability.suite)

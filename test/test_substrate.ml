@@ -216,7 +216,9 @@ let check_scan_matches tag bytes =
       check Alcotest.int (tag ^ " f_size") fx_sweep.Substrate.f_size
         fx_scan.Substrate.f_size;
       check Alcotest.int (tag ^ " resyncs") fx_sweep.Substrate.f_resync_errors
-        fx_scan.Substrate.f_resync_errors)
+        fx_scan.Substrate.f_resync_errors;
+      check Alcotest.int (tag ^ " insns") fx_sweep.Substrate.f_insns
+        fx_scan.Substrate.f_insns)
     [ false; true ]
 
 let test_scan_matches_corpus () =
