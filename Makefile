@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.  `make check` is the PR verify: build,
 # test, and smoke the multi-core evaluation path (--jobs 2).
-.PHONY: all test bench bench-json bench-diff bench-history check fuzz triage
+.PHONY: all test bench bench-json bench-diff bench-history check fuzz triage chaos
 
 all:
 	dune build
@@ -13,14 +13,14 @@ bench:
 
 # Machine-readable benchmark results for the perf trajectory: one
 # BENCH_<n>.json per PR (N is the PR number).
-N ?= 7
+N ?= 8
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_$(N).json
 
 # Perf gate between PRs: compare two BENCH_<n>.json files and fail on any
 # named test that regressed by more than 20% — or vanished (--require-all).
-OLD ?= BENCH_6.json
-NEW ?= BENCH_7.json
+OLD ?= BENCH_7.json
+NEW ?= BENCH_8.json
 bench-diff:
 	dune exec bin/bench_diff.exe -- --require-all $(OLD) $(NEW)
 
@@ -36,6 +36,29 @@ check:
 # ~200-mutant smoke of the same engine runs as part of `make check`).
 fuzz:
 	dune exec bin/cetfuzz.exe -- --count 2000 --seed 2022
+
+# Chaos soak: a ~200-binary seeded run with scheduler fault injection
+# (worker stalls, item delays, transient dispatch faults) must produce
+# tables and per-binary profile rows byte-identical to the calm run — the
+# scheduler invariant at soak scale (a smaller smoke of the same diff runs
+# as part of `make check`).  The fuzzer soaks under the same chaos seed.
+CHAOS_SEED ?= 2022
+chaos:
+	dune build bin/evaluate.exe bin/cetfuzz.exe
+	dune exec --no-build bin/evaluate.exe -- all --scale 0.05 --jobs 2 \
+	  --no-timing --profile-out /tmp/cet-chaos-calm.jsonl \
+	  > /tmp/cet-chaos-calm.txt
+	dune exec --no-build bin/evaluate.exe -- all --scale 0.05 --jobs 4 \
+	  --no-timing --chaos $(CHAOS_SEED) \
+	  --profile-out /tmp/cet-chaos-stormy.jsonl > /tmp/cet-chaos-stormy.txt
+	cmp /tmp/cet-chaos-calm.txt /tmp/cet-chaos-stormy.txt
+	cmp /tmp/cet-chaos-calm.jsonl /tmp/cet-chaos-stormy.jsonl
+	dune exec --no-build bin/cetfuzz.exe -- --count 200 --seed $(CHAOS_SEED) \
+	  > /tmp/cet-chaos-fuzz-calm.txt
+	dune exec --no-build bin/cetfuzz.exe -- --count 200 --seed $(CHAOS_SEED) \
+	  --jobs 4 --chaos $(CHAOS_SEED) > /tmp/cet-chaos-fuzz-stormy.txt
+	cmp /tmp/cet-chaos-fuzz-calm.txt /tmp/cet-chaos-fuzz-stormy.txt
+	@echo "chaos soak: tables, profiles and fuzz summary byte-identical"
 
 # Error forensics: the full tables plus the FP/FN root-cause triage table
 # (a smaller seeded smoke of the same path runs as part of `make check`).

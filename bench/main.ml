@@ -207,6 +207,15 @@ let bench_kernels =
              J.record ~v:i J.Diag "bench/journal"
            done;
            J.disable ()));
+    (* Raw scheduler overhead: 4096 trivial items through the work-stealing
+       pool (create + map + join), so admission, deques and stealing are
+       gated independently of the harness rows that amortise them.  Not a
+       byte-streaming kernel â no GB/s column. *)
+    Test.make ~name:"kernel/work-queue(items=4096)"
+      (stage (fun () ->
+           let module W = Cet_util.Work_queue in
+           let t = W.create (W.config ()) in
+           ignore (W.map t 4096 (fun k -> k) : int array)));
   ]
 
 (* The substrate's raison d'être: one binary through FunSeeker and the

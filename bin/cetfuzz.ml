@@ -2,13 +2,14 @@
 
    Usage:
      cetfuzz --seed 2022 --count 2000 --max-seconds 2
+     cetfuzz --jobs 4 --chaos 7 --crash-out crashes.jsonl
    Exit codes: 0 when every mutant was handled cleanly, 1 when any analysis
    crashed, 2 on usage errors. *)
 
 open Cmdliner
 module Journal = Cet_telemetry.Journal
 
-let run_fuzz seed count max_seconds journal =
+let run_fuzz seed count max_seconds journal jobs chaos crash_out =
   if count <= 0 then begin
     Printf.eprintf "cetfuzz: --count must be positive (got %d)\n" count;
     exit 2
@@ -17,10 +18,26 @@ let run_fuzz seed count max_seconds journal =
     Printf.eprintf "cetfuzz: --max-seconds must be positive (got %g)\n" max_seconds;
     exit 2
   end;
+  (match jobs with
+  | Some j when j <= 0 ->
+    Printf.eprintf "cetfuzz: --jobs must be a positive worker count (got %d)\n" j;
+    exit 2
+  | _ -> ());
+  (* An unwritable crash report is a usage error before the soak, not a
+     surprise after it. *)
+  let crash_oc =
+    match crash_out with
+    | None -> None
+    | Some path -> (
+      try Some (path, open_out path)
+      with Sys_error msg ->
+        Printf.eprintf "cetfuzz: cannot open --crash-out file: %s\n" msg;
+        exit 2)
+  in
   (* The flight recorder gives each crash report a black box: per-mutant
      markers from the engine plus diag/deadline activity bridged from the
      layers below. *)
-  if journal then begin
+  if journal || crash_oc <> None then begin
     Journal.enable ();
     Cet_util.Deadline.set_observer
       (Some
@@ -34,8 +51,15 @@ let run_fuzz seed count max_seconds journal =
              Journal.record Journal.Diag
                (d.Cet_util.Diag.domain ^ "/" ^ d.Cet_util.Diag.code)))
   end;
-  let s = Cet_fuzz.Engine.run ~max_seconds ~seed ~count () in
+  let s = Cet_fuzz.Engine.run ~max_seconds ?jobs ?chaos ~seed ~count () in
   print_string (Cet_fuzz.Engine.render s);
+  (match crash_oc with
+  | None -> ()
+  | Some (path, oc) ->
+    Cet_fuzz.Engine.write_crashes oc s;
+    close_out oc;
+    Printf.eprintf "crash report written to %s (%d entries)\n" path
+      (List.length s.Cet_fuzz.Engine.crashes));
   if s.Cet_fuzz.Engine.crashes <> [] then 1 else 0
 
 let seed =
@@ -58,6 +82,32 @@ let journal =
   in
   Arg.(value & flag & info [ "journal" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the mutant analyses (default: the hardware's \
+     recommended domain count).  The summary is byte-identical to --jobs 1. \
+     Must be positive."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let chaos =
+  let doc =
+    "Soak the scheduler itself: inject seeded worker stalls, per-mutant \
+     delays and transient dispatch faults while fuzzing.  Chaos changes \
+     timing but never results \xe2\x80\x94 the summary stays byte-identical to a \
+     fault-free run."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let crash_out =
+  let doc =
+    "Write escaped crashes as JSON lines (schema, class, mutant index, \
+     error, backtrace, flight-recorder black box) to $(docv).  Implies the \
+     flight recorder.  The file is opened before the run, so an unwritable \
+     path fails fast with exit code 2."
+  in
+  Arg.(value & opt (some string) None & info [ "crash-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "mutation-fuzz the robust FunSeeker analysis pipeline" in
   Cmd.v
@@ -67,6 +117,8 @@ let cmd =
          Cmd.Exit.info 1 ~doc:"when any mutant crashed the analysis.";
          Cmd.Exit.info 2 ~doc:"on usage errors.";
        ])
-    Term.(const run_fuzz $ seed $ count $ max_seconds $ journal)
+    Term.(
+      const run_fuzz $ seed $ count $ max_seconds $ journal $ jobs $ chaos
+      $ crash_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,7 +23,7 @@ module Report = Cet_telemetry.Report
 
 let run_eval what seed scale progress jobs no_timing stats trace_out trace_format
     max_seconds quarantine_out fail_fast inject_fault triage triage_out
-    profile_out top_slow slo metrics_out =
+    profile_out top_slow slo metrics_out chaos run_seconds =
   if jobs <= 0 then begin
     Printf.eprintf "evaluate: --jobs must be a positive worker count (got %d)\n" jobs;
     exit 2
@@ -40,6 +40,11 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   (match inject_fault with
   | Some n when n <= 0 ->
     Printf.eprintf "evaluate: --inject-fault must be a positive modulus (got %d)\n" n;
+    exit 2
+  | _ -> ());
+  (match run_seconds with
+  | Some s when s <= 0.0 ->
+    Printf.eprintf "evaluate: --run-seconds must be positive (got %g)\n" s;
     exit 2
   | _ -> ());
   if top_slow < 0 then begin
@@ -115,6 +120,10 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
       fault;
       triage;
       profile;
+      chaos;
+      run_seconds;
+      shed_fraction = Cet_eval.Harness.default_options.Cet_eval.Harness.shed_fraction;
+      breaker = Cet_eval.Harness.default_options.Cet_eval.Harness.breaker;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -363,6 +372,25 @@ let metrics_out =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let chaos =
+  let doc =
+    "Chaos soak: inject seeded scheduler-level faults (worker stalls, \
+     per-binary delays, transient dispatch faults retried by the scheduler). \
+     Chaos changes timing and scheduling but never results \xe2\x80\x94 the tables are \
+     byte-identical to a fault-free run whatever the seed."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let run_seconds =
+  let doc =
+    "Run-wide wall-clock budget in seconds, armed around every worker's whole \
+     loop.  As the budget runs down, binaries are shed to the cheaper \
+     anchored-only analysis (profile status $(b,shed)); once it expires, \
+     remaining binaries are quarantined.  Distinct from --max-seconds, which \
+     bounds a single binary.  Must be positive."
+  in
+  Arg.(value & opt (some float) None & info [ "run-seconds" ] ~docv:"SECONDS" ~doc)
+
 let cmd =
   let doc = "regenerate the FunSeeker paper's tables and figures" in
   Cmd.v
@@ -377,6 +405,6 @@ let cmd =
       const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing $ stats
       $ trace_out $ trace_format $ max_seconds $ quarantine_out $ fail_fast
       $ inject_fault $ triage $ triage_out $ profile_out $ top_slow $ slo
-      $ metrics_out)
+      $ metrics_out $ chaos $ run_seconds)
 
 let () = exit (Cmd.eval' cmd)

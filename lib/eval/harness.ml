@@ -3,6 +3,7 @@ module Substrate = Cet_disasm.Substrate
 module Options = Cet_compiler.Options
 module Dataset = Cet_corpus.Dataset
 module Domain_pool = Cet_util.Domain_pool
+module Work_queue = Cet_util.Work_queue
 
 type options = {
   seed : int;
@@ -14,6 +15,10 @@ type options = {
   fault : (Dataset.binary -> bool) option;
   triage : bool;
   profile : bool;
+  chaos : int option;
+  run_seconds : float option;
+  shed_fraction : float;
+  breaker : Work_queue.Breaker.config option;
 }
 
 let default_options =
@@ -27,6 +32,14 @@ let default_options =
     fault = None;
     triage = false;
     profile = false;
+    chaos = None;
+    run_seconds = None;
+    shed_fraction = 0.1;
+    (* Three consecutive failures open a program's breaker; two more of
+       its binaries fast-fail before a recovery probe.  Because all of a
+       program's binaries run inside one plan item, the breaker's
+       decisions are identical whatever the worker count. *)
+    breaker = Some { Work_queue.Breaker.threshold = 3; cooldown = 2 };
   }
 
 type failure = {
@@ -119,6 +132,14 @@ let merge_results into src =
 let ewma_update ~alpha ~prev x =
   match prev with None -> x | Some p -> (alpha *. x) +. ((1.0 -. alpha) *. p)
 
+let scheduler ?jobs (opts : options) =
+  Work_queue.create ~observer:Cet_telemetry.Bridge.scheduler_observer
+    (Work_queue.config ?jobs ~seed:opts.seed ~attempts:2 ?breaker:opts.breaker
+       ?run_seconds:opts.run_seconds ~shed_fraction:opts.shed_fraction
+       ?chaos:
+         (Option.map (fun seed -> Work_queue.Chaos.default ~seed) opts.chaos)
+       ())
+
 let run ?profiles ?configs ?jobs (opts : options) =
   Printexc.record_backtrace true;
   let plan = Dataset.plan ?profiles ?configs ~seed:opts.seed ~scale:opts.scale () in
@@ -170,8 +191,11 @@ let run ?profiles ?configs ?jobs (opts : options) =
   in
   (* Per-binary unit of work, accumulating into the worker's private
      tables.  Nothing here touches shared state except the progress
-     counter, so any domain can evaluate any plan item. *)
-  let eval_binary_impl acc (bin : Dataset.binary) =
+     counter, so any domain can evaluate any plan item.  Under [degraded]
+     (deadline-pressure shedding) only the cheap anchored-only FunSeeker
+     passes run: the study, the baselines, and the triage pass are
+     skipped, and the profile row records the downgrade. *)
+  let eval_binary_impl ~degraded acc (bin : Dataset.binary) =
     let module J = Cet_telemetry.Journal in
     let jmark = if J.enabled () then J.mark () else 0 in
     let bin_t0 = Unix.gettimeofday () in
@@ -190,21 +214,28 @@ let run ?profiles ?configs ?jobs (opts : options) =
     let (), study_time =
       timed
         (fun () ->
-          List.iter
-            (fun (_addr, loc) -> Tables.Table1.record acc.table1 ~compiler ~suite loc)
-            (Core.Study.classify_endbrs_st st ~truth);
-          List.iter
-            (fun (_addr, props) -> Tables.Fig3.record acc.fig3 props)
-            (Core.Study.function_props_st st ~truth))
+          if not degraded then begin
+            List.iter
+              (fun (_addr, loc) -> Tables.Table1.record acc.table1 ~compiler ~suite loc)
+              (Core.Study.classify_endbrs_st st ~truth);
+            List.iter
+              (fun (_addr, props) -> Tables.Fig3.record acc.fig3 props)
+              (Core.Study.function_props_st st ~truth)
+          end)
         ()
     in
-    (* Table II: the four FunSeeker configurations. *)
+    (* Table II: the four FunSeeker configurations (anchored-only when
+       shedding — the sweep fast-forwards between end branches instead of
+       decoding every byte run). *)
     let (), configs_time =
       timed
         (fun () ->
           List.iteri
             (fun i config ->
-              let r = Core.Funseeker.analyze_st ~config st in
+              let r =
+                if degraded then Core.Funseeker.analyze_st ~config ~anchored:true st
+                else Core.Funseeker.analyze_st ~config st
+              in
               Tables.Table2.record acc.table2 ~compiler ~suite ~config:(i + 1)
                 (Metrics.compare_sets ~truth ~found:r.Core.Funseeker.functions))
             [
@@ -221,23 +252,34 @@ let run ?profiles ?configs ?jobs (opts : options) =
        columns stay zero, which keeps the rendered output deterministic
        in the seed. *)
     let fs, fs_time =
-      timed (fun st -> (Core.Funseeker.analyze_st st).Core.Funseeker.functions) st
+      timed
+        (fun st ->
+          (if degraded then Core.Funseeker.analyze_st ~anchored:true st
+           else Core.Funseeker.analyze_st st)
+            .Core.Funseeker.functions)
+        st
     in
     Tables.Table3.record acc.table3 ~arch ~suite ~tool:"funseeker"
       (Metrics.compare_sets ~truth ~found:fs);
     if opts.timing then
       Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"funseeker" fs_time;
-    let ida, ida_time = timed Cet_baselines.Ida_like.analyze_st st in
-    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ida"
-      (Metrics.compare_sets ~truth ~found:ida);
-    let ghidra, ghidra_time = timed Cet_baselines.Ghidra_like.analyze_st st in
-    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ghidra"
-      (Metrics.compare_sets ~truth ~found:ghidra);
-    let fetch, fetch_time = timed Cet_baselines.Fetch.analyze_st st in
-    Tables.Table3.record acc.table3 ~arch ~suite ~tool:"fetch"
-      (Metrics.compare_sets ~truth ~found:fetch);
-    if opts.timing then
-      Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"fetch" fetch_time;
+    let ida_time, ghidra_time, fetch_time =
+      if degraded then (0.0, 0.0, 0.0)
+      else begin
+        let ida, ida_time = timed Cet_baselines.Ida_like.analyze_st st in
+        Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ida"
+          (Metrics.compare_sets ~truth ~found:ida);
+        let ghidra, ghidra_time = timed Cet_baselines.Ghidra_like.analyze_st st in
+        Tables.Table3.record acc.table3 ~arch ~suite ~tool:"ghidra"
+          (Metrics.compare_sets ~truth ~found:ghidra);
+        let fetch, fetch_time = timed Cet_baselines.Fetch.analyze_st st in
+        Tables.Table3.record acc.table3 ~arch ~suite ~tool:"fetch"
+          (Metrics.compare_sets ~truth ~found:fetch);
+        if opts.timing then
+          Tables.Table3.record_time acc.table3 ~arch ~suite ~tool:"fetch" fetch_time;
+        (ida_time, ghidra_time, fetch_time)
+      end
+    in
     (* Error forensics (opt-in): rerun the full configuration with decision
        provenance, join the identified set against ground truth, and bucket
        every false positive / false negative by root cause, keyed by this
@@ -245,7 +287,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
     let (), triage_time =
       timed
         (fun () ->
-          if opts.triage then begin
+          if opts.triage && not degraded then begin
             let _r, prov = Core.Funseeker.analyze_prov st in
             let pads = Substrate.landing_pads st in
             List.iter
@@ -264,9 +306,11 @@ let run ?profiles ?configs ?jobs (opts : options) =
           (int_of_float (t *. 1e9))
       in
       obs "funseeker" fs_time;
-      obs "ida" ida_time;
-      obs "ghidra" ghidra_time;
-      obs "fetch" fetch_time;
+      if not degraded then begin
+        obs "ida" ida_time;
+        obs "ghidra" ghidra_time;
+        obs "fetch" fetch_time
+      end;
       obs "binary" (Unix.gettimeofday () -. bin_t0)
     end;
     (* The per-binary profile record: identity, decode volume from the
@@ -291,7 +335,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
             p_truth = List.length truth;
             p_diags = (if J.enabled () then J.count_kind_since jmark J.Diag else 0);
             p_attempts = 1;
-            p_status = "ok";
+            p_status = (if degraded then "shed" else "ok");
             p_total_ms = ms total_time;
             p_phases =
               List.combine profile_phase_names
@@ -309,11 +353,11 @@ let run ?profiles ?configs ?jobs (opts : options) =
   in
   (* Fault isolation: every binary is evaluated into a FRESH accumulator
      so a mid-flight exception cannot leave partial rows behind; only a
-     completed evaluation is merged into the worker's tables.  A failing
-     binary is retried once (a deadline expiry is not transient, so it is
-     not), then quarantined with its backtrace — or, under [fail-fast],
-     re-raised to abort the run. *)
-  let attempt (bin : Dataset.binary) =
+     completed evaluation is merged into the worker's tables.  Retry,
+     backoff, circuit breaking and shedding are the scheduler's
+     ({!Work_queue.guard}); a deadline expiry is not transient, so it is
+     never retried. *)
+  let attempt (bin : Dataset.binary) ~attempt:_ ~degraded =
     let fresh = empty_results () in
     let work () =
       (match opts.fault with
@@ -322,8 +366,8 @@ let run ?profiles ?configs ?jobs (opts : options) =
       | _ -> ());
       if Cet_telemetry.Span.enabled () then
         Cet_telemetry.Span.with_ ~name:"harness.binary" (fun () ->
-            eval_binary_impl fresh bin)
-      else eval_binary_impl fresh bin
+            eval_binary_impl ~degraded fresh bin)
+      else eval_binary_impl ~degraded fresh bin
     in
     match opts.max_seconds with
     | None -> work ()
@@ -345,7 +389,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
   (* A quarantined binary still gets a profile row — identity, attempts and
      status, with the analysis-derived figures zeroed (the failed attempt's
      partial work is discarded with its accumulator). *)
-  let quarantined_profile (bin : Dataset.binary) ~attempts =
+  let quarantined_profile (bin : Dataset.binary) ~attempts ~status =
     {
       p_suite = bin.suite;
       p_program = bin.program;
@@ -357,7 +401,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
       p_truth = 0;
       p_diags = 0;
       p_attempts = attempts;
-      p_status = "quarantined";
+      p_status = status;
       p_total_ms = 0.0;
       p_phases = List.map (fun n -> (n, 0.0)) profile_phase_names;
     }
@@ -370,45 +414,54 @@ let run ?profiles ?configs ?jobs (opts : options) =
         profiles = List.map (fun p -> { p with p_attempts = n }) fresh.profiles;
       }
   in
+  let wq = scheduler ?jobs opts in
+  (* The retried counter mirrors the pre-scheduler semantics: a binary
+     whose first attempt failed retryably counts once, whether the retry
+     then succeeded or the binary was quarantined. *)
+  let note_retry ~attempts name =
+    if attempts > 1 then begin
+      Atomic.incr retried;
+      Cet_telemetry.Registry.count "harness.retried";
+      if Cet_telemetry.Journal.enabled () then
+        Cet_telemetry.Journal.record ~v:attempts Cet_telemetry.Journal.Retry name
+    end
+  in
   let eval_binary acc (bin : Dataset.binary) =
+    let name = bin.suite ^ "/" ^ bin.program in
+    let key = name ^ "[" ^ Options.to_string bin.config ^ "]" in
+    let retryable = function Cet_util.Deadline.Expired _ -> false | _ -> true in
     let acc =
-      match attempt bin with
-      | fresh ->
+      match Work_queue.guard wq ~key ~group:name ~retryable (attempt bin) with
+      | Ok g ->
+        note_retry ~attempts:g.Work_queue.g_attempts name;
         Cet_telemetry.Registry.count "harness.binaries";
-        merge_results acc fresh
-      | exception e1 -> (
-        let bt1 = Printexc.get_raw_backtrace () in
-        let retryable = match e1 with Cet_util.Deadline.Expired _ -> false | _ -> true in
-        if retryable then begin
-          Atomic.incr retried;
-          Cet_telemetry.Registry.count "harness.retried";
-          if Cet_telemetry.Journal.enabled () then
-            Cet_telemetry.Journal.record ~v:2 Cet_telemetry.Journal.Retry
-              (bin.suite ^ "/" ^ bin.program)
-        end;
-        let quarantine ~attempts e bt =
-          if not opts.keep_going then Printexc.raise_with_backtrace e bt;
-          Cet_telemetry.Registry.count "harness.quarantined";
-          if Cet_telemetry.Journal.enabled () then
-            Cet_telemetry.Journal.record ~v:attempts
-              Cet_telemetry.Journal.Quarantine
-              (bin.suite ^ "/" ^ bin.program);
-          let acc =
-            if not opts.profile then acc
-            else
-              { acc with profiles = acc.profiles @ [ quarantined_profile bin ~attempts ] }
-          in
-          { acc with failures = acc.failures @ [ failure_of bin ~attempts e bt ] }
+        merge_results acc (set_attempts g.Work_queue.g_attempts g.Work_queue.g_value)
+      | Error u ->
+        note_retry ~attempts:u.Work_queue.w_attempts name;
+        if not opts.keep_going then
+          Printexc.raise_with_backtrace u.Work_queue.w_error u.Work_queue.w_bt;
+        let attempts = u.Work_queue.w_attempts in
+        Cet_telemetry.Registry.count "harness.quarantined";
+        if Cet_telemetry.Journal.enabled () then
+          Cet_telemetry.Journal.record ~v:attempts Cet_telemetry.Journal.Quarantine
+            name;
+        let status =
+          if u.Work_queue.w_breaker_skip then "breaker-skip" else "quarantined"
         in
-        if not retryable then quarantine ~attempts:1 e1 bt1
-        else
-          match attempt bin with
-          | fresh ->
-            Cet_telemetry.Registry.count "harness.binaries";
-            merge_results acc (set_attempts 2 fresh)
-          | exception e2 ->
-            let bt2 = Printexc.get_raw_backtrace () in
-            quarantine ~attempts:2 e2 bt2)
+        let acc =
+          if not opts.profile then acc
+          else
+            {
+              acc with
+              profiles = acc.profiles @ [ quarantined_profile bin ~attempts ~status ];
+            }
+        in
+        {
+          acc with
+          failures =
+            acc.failures
+            @ [ failure_of bin ~attempts u.Work_queue.w_error u.Work_queue.w_bt ];
+        }
     in
     let seen = Atomic.fetch_and_add progress 1 + 1 in
     if opts.progress then show_progress seen;
@@ -416,9 +469,14 @@ let run ?profiles ?configs ?jobs (opts : options) =
   in
   let eval_item k = List.fold_left eval_binary (empty_results ()) (Dataset.nth plan k) in
   let results =
-    Domain_pool.fold ?jobs ~merge:merge_results (empty_results ())
-      (Dataset.length plan) eval_item
+    Array.fold_left merge_results (empty_results ())
+      (Work_queue.map wq (Dataset.length plan) eval_item)
   in
+  if Cet_telemetry.Registry.enabled () then begin
+    let s = Work_queue.stats wq in
+    Cet_telemetry.Registry.gauge_set "scheduler.max_pending"
+      (float_of_int s.Work_queue.s_max_pending)
+  end;
   (* Exact completion line, printed once and only when something ran (an
      empty plan must not leave a stray newline on stderr). *)
   let done_count = Atomic.get progress in
@@ -714,15 +772,85 @@ let journal_event_json (e : Cet_telemetry.Journal.event) =
     (json_escape e.Cet_telemetry.Journal.j_name)
     e.Cet_telemetry.Journal.j_v e.Cet_telemetry.Journal.j_ns
 
+(* Version of the quarantine JSONL format.  2 = the PR 7 shape (journal
+   black box) plus this field; bump on any key change so consumers can
+   refuse rows they do not understand. *)
+let quarantine_schema = 2
+
 let write_quarantine oc r =
   List.iter
     (fun f ->
       Printf.fprintf oc
-        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"attempts\":%d,\"error\":\"%s\",\"backtrace\":\"%s\",\"journal\":[%s]}\n"
+        "{\"schema\":%d,\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"attempts\":%d,\"error\":\"%s\",\"backtrace\":\"%s\",\"journal\":[%s]}\n"
+        quarantine_schema
         (json_escape f.f_suite) (json_escape f.f_program) (json_escape f.f_config)
         f.f_attempts (json_escape f.f_error) (json_escape f.f_backtrace)
         (String.concat "," (List.map journal_event_json f.f_journal)))
     r.failures
+
+(* The reading side of the quarantine report: the schema field is
+   checked, the journal black box is reconstructed event by event
+   (ring ids are not serialised — readers get [-1]).  Used by the
+   round-trip regression test and available to external tooling. *)
+let read_quarantine s =
+  let module Jz = Cet_util.Jsonl in
+  let module J = Cet_telemetry.Journal in
+  let ( let* ) = Result.bind in
+  let field name conv j =
+    match Option.bind (Jz.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let event_of j =
+    let* kind_s = field "kind" Jz.str j in
+    let* kind =
+      match J.kind_of_label kind_s with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "unknown journal kind %S" kind_s)
+    in
+    let* name = field "name" Jz.str j in
+    let* v = field "v" Jz.int j in
+    let* ns = field "ns" Jz.int j in
+    Ok { J.j_kind = kind; j_name = name; j_v = v; j_ns = ns; j_ring = -1 }
+  in
+  let failure_of j =
+    let* schema = field "schema" Jz.int j in
+    if schema <> quarantine_schema then
+      Error (Printf.sprintf "unsupported schema %d (want %d)" schema quarantine_schema)
+    else
+      let* f_suite = field "suite" Jz.str j in
+      let* f_program = field "program" Jz.str j in
+      let* f_config = field "config" Jz.str j in
+      let* f_attempts = field "attempts" Jz.int j in
+      let* f_error = field "error" Jz.str j in
+      let* f_backtrace = field "backtrace" Jz.str j in
+      let* journal = field "journal" Jz.list j in
+      let* f_journal =
+        List.fold_left
+          (fun acc ev ->
+            let* acc = acc in
+            let* e = event_of ev in
+            Ok (e :: acc))
+          (Ok []) journal
+      in
+      Ok
+        {
+          f_suite;
+          f_program;
+          f_config;
+          f_attempts;
+          f_error;
+          f_backtrace;
+          f_journal = List.rev f_journal;
+        }
+  in
+  let* rows = Jz.parse_lines s in
+  List.fold_left
+    (fun acc row ->
+      let* acc = acc in
+      let* f = failure_of row in
+      Ok (acc @ [ f ]))
+    (Ok []) rows
 
 let write_profiles oc r =
   List.iter

@@ -45,6 +45,25 @@ type options = {
           binary into {!results.profiles} (identity, phase time split,
           decode volume, retry/quarantine status).  Off by default; the
           disabled path adds no allocation to the per-binary loop. *)
+  chaos : int option;
+      (** seeded scheduler-level fault injection
+          ({!Cet_util.Work_queue.Chaos.default}): worker stalls, per-item
+          delays, transient dispatch faults.  Chaos changes timing and
+          scheduling but never results — the tables are byte-identical to
+          a fault-free run whatever the seed. *)
+  run_seconds : float option;
+      (** run-wide wall-clock budget, armed as one
+          {!Cet_util.Deadline} around every worker's whole loop; the
+          shedding policy measures remaining budget against it.  Distinct
+          from [max_seconds], which bounds a single binary. *)
+  shed_fraction : float;
+      (** degrade a binary to the anchored-only analysis when the
+          run-wide deadline's remaining-budget fraction drops below this
+          (0.1 by default); only meaningful when [run_seconds] is set *)
+  breaker : Cet_util.Work_queue.Breaker.config option;
+      (** per-program circuit breaker: after [threshold] consecutive
+          failures the program's remaining binaries are fast-failed
+          ([cooldown] of them, then one probe).  [None] disables it. *)
 }
 
 val default_options : options
@@ -56,7 +75,9 @@ type failure = {
   f_suite : string;
   f_program : string;
   f_config : string;  (** {!Cet_compiler.Options.to_string} descriptor *)
-  f_attempts : int;  (** 1 for non-retryable failures (deadline), else 2 *)
+  f_attempts : int;
+      (** 1 for non-retryable failures (deadline), 2 after a retry, 0 for
+          a circuit-breaker fast-fail (the work never ran) *)
   f_error : string;
   f_backtrace : string;
   f_journal : Cet_telemetry.Journal.event list;
@@ -78,7 +99,9 @@ type profile = {
   p_truth : int;  (** deduplicated ground-truth entry count *)
   p_diags : int;  (** journal-observed diagnostics during this binary *)
   p_attempts : int;  (** 1, or 2 when the first attempt was retried *)
-  p_status : string;  (** ["ok"] or ["quarantined"] *)
+  p_status : string;
+      (** ["ok"], ["shed"] (evaluated degraded under deadline pressure),
+          ["quarantined"], or ["breaker-skip"] *)
   p_total_ms : float;
   p_phases : (string * float) list;
       (** fixed vocabulary in fixed order — study, configs, funseeker,
@@ -118,21 +141,39 @@ val run :
   results
 (** Fault-isolated: each binary is evaluated into a fresh accumulator that
     is merged only on success, so a crashing or injected-fault binary
-    contributes nothing (no partial table rows).  Failures are retried
-    once (deadline expiries are not) and then quarantined under
-    [keep_going], or re-raised under fail-fast.  The merged tables are
-    byte-identical across [jobs] for the surviving set. *)
+    contributes nothing (no partial table rows).  Since PR 8 the engine is
+    {!Cet_util.Work_queue}: a work-stealing Domain pool with bounded
+    admission runs the plan items, and each binary is a guarded unit —
+    retried once with backoff (deadline expiries are not), circuit-broken
+    per program, shed to the anchored-only analysis under [run_seconds]
+    pressure — then quarantined under [keep_going], or re-raised under
+    fail-fast.  Scheduler events flow into {!Cet_telemetry.Journal} and
+    the metric registry.  The merged tables are byte-identical across
+    [jobs] — and across any [chaos] seed — for the surviving set. *)
+
+(** The scheduler's Journal/Registry bridge is
+    {!Cet_telemetry.Bridge.scheduler_observer}, shared with the fuzz
+    driver. *)
 
 val render_all : results -> string
 
 val render_failures : results -> string
 (** Human-readable quarantine summary; [""] when nothing failed. *)
 
+val quarantine_schema : int
+(** Version stamped into every quarantine row's [schema] field. *)
+
 val write_quarantine : out_channel -> results -> unit
-(** One JSON object per failure per line
-    ([suite]/[program]/[config]/[attempts]/[error]/[backtrace]/[journal])
-    — the [--quarantine-out] report format.  [journal] is the failure's
+(** One JSON object per failure per line ([schema]/[suite]/[program]/
+    [config]/[attempts]/[error]/[backtrace]/[journal]) — the
+    [--quarantine-out] report format.  [journal] is the failure's
     flight-recorder black box, one object per event. *)
+
+val read_quarantine : string -> (failure list, string) result
+(** Parse a whole quarantine JSONL document back into failure records —
+    the round-trip inverse of {!write_quarantine} up to the journal
+    events' ring ids (not serialised; readers see [-1]).  Rejects rows
+    whose [schema] differs from {!quarantine_schema}. *)
 
 val write_profiles : out_channel -> results -> unit
 (** One JSON object per profile per line, keys in a fixed order ([suite],

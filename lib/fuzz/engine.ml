@@ -154,34 +154,50 @@ type summary = {
 let has_timeout diags =
   List.exists (fun (d : Cet_util.Diag.t) -> d.Cet_util.Diag.code = "timeout") diags
 
-let run ?(max_seconds = 2.0) ~seed ~count () =
+(* Per-mutant verdicts are computed in parallel but merged in index
+   order, so the summary stays deterministic in [seed] whatever the
+   worker count or chaos seed. *)
+type verdict = Clean | Degraded of { timeout : bool } | Rejected | Crashed of crash
+
+let run ?(max_seconds = 2.0) ?jobs ?chaos ~seed ~count () =
   Printexc.record_backtrace true;
   let g = Prng.create seed in
   let pool = seed_pool ~seed in
   let per_class = Array.make (Array.length classes) 0 in
-  let clean = ref 0 and degraded = ref 0 and rejected = ref 0 and timeouts = ref 0 in
-  let crashes = ref [] in
-  for index = 0 to count - 1 do
-    let cls_i = Prng.int g (Array.length classes) in
-    let cls = classes.(cls_i) in
-    per_class.(cls_i) <- per_class.(cls_i) + 1;
-    let orig = pool.(Prng.int g (Array.length pool)) in
-    let mutant = mutate g ~cls orig in
-    let anchored = Prng.bool g in
+  (* Mutant generation stays a single sequential pass over one PRNG
+     stream — the mutant at index [i] is byte-identical to what the
+     pre-scheduler loop produced, and independent of [jobs]/[chaos]. *)
+  let mutants =
+    Array.init count (fun index ->
+        let cls_i = Prng.int g (Array.length classes) in
+        let cls = classes.(cls_i) in
+        per_class.(cls_i) <- per_class.(cls_i) + 1;
+        let orig = pool.(Prng.int g (Array.length pool)) in
+        let mutant = mutate g ~cls orig in
+        let anchored = Prng.bool g in
+        (index, cls, mutant, anchored))
+  in
+  let wq =
+    Cet_util.Work_queue.create ~observer:Cet_telemetry.Bridge.scheduler_observer
+      (Cet_util.Work_queue.config ?jobs ~seed
+         ?chaos:
+           (Option.map (fun s -> Cet_util.Work_queue.Chaos.default ~seed:s) chaos)
+         ())
+  in
+  let analyze k =
+    let index, cls, mutant, anchored = mutants.(k) in
     (* One marker per mutant so a crash's black box shows which mutants
        (and how much analysis activity) led up to it. *)
     if Cet_telemetry.Journal.enabled () then
       Cet_telemetry.Journal.record ~v:index Cet_telemetry.Journal.Phase_begin
         ("fuzz.mutant:" ^ cls);
     match Core.Funseeker.analyze_bytes_diag ~anchored ~max_seconds mutant with
-    | Ok (_, []) -> incr clean
-    | Ok (_, diags) ->
-      incr degraded;
-      if has_timeout diags then incr timeouts
-    | Error _ -> incr rejected
+    | Ok (_, []) -> Clean
+    | Ok (_, diags) -> Degraded { timeout = has_timeout diags }
+    | Error _ -> Rejected
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
-      crashes :=
+      Crashed
         {
           c_class = cls;
           c_index = index;
@@ -189,8 +205,19 @@ let run ?(max_seconds = 2.0) ~seed ~count () =
           c_backtrace = Printexc.raw_backtrace_to_string bt;
           c_journal = Cet_telemetry.Journal.recent ~n:32 ();
         }
-        :: !crashes
-  done;
+  in
+  let verdicts = Cet_util.Work_queue.map wq count analyze in
+  let clean = ref 0 and degraded = ref 0 and rejected = ref 0 and timeouts = ref 0 in
+  let crashes = ref [] in
+  Array.iter
+    (function
+      | Clean -> incr clean
+      | Degraded { timeout } ->
+        incr degraded;
+        if timeout then incr timeouts
+      | Rejected -> incr rejected
+      | Crashed c -> crashes := c :: !crashes)
+    verdicts;
   {
     total = count;
     per_class = Array.to_list (Array.mapi (fun i n -> (classes.(i), n)) per_class);
@@ -200,6 +227,93 @@ let run ?(max_seconds = 2.0) ~seed ~count () =
     timeouts = !timeouts;
     crashes = List.rev !crashes;
   }
+
+(* ---- Crash report (JSONL) --------------------------------------------- *)
+
+(* Version of the crash JSONL format; bump on any key change so replay
+   tooling can refuse rows it does not understand. *)
+let crash_schema = 1
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let journal_event_json (e : Cet_telemetry.Journal.event) =
+  Printf.sprintf "{\"kind\":\"%s\",\"name\":\"%s\",\"v\":%d,\"ns\":%d}"
+    (Cet_telemetry.Journal.kind_label e.Cet_telemetry.Journal.j_kind)
+    (json_escape e.Cet_telemetry.Journal.j_name)
+    e.Cet_telemetry.Journal.j_v e.Cet_telemetry.Journal.j_ns
+
+let write_crashes oc s =
+  List.iter
+    (fun c ->
+      Printf.fprintf oc
+        "{\"schema\":%d,\"class\":\"%s\",\"index\":%d,\"error\":\"%s\",\"backtrace\":\"%s\",\"journal\":[%s]}\n"
+        crash_schema (json_escape c.c_class) c.c_index (json_escape c.c_error)
+        (json_escape c.c_backtrace)
+        (String.concat "," (List.map journal_event_json c.c_journal)))
+    s.crashes
+
+let read_crashes text =
+  let module Jz = Cet_util.Jsonl in
+  let module J = Cet_telemetry.Journal in
+  let ( let* ) = Result.bind in
+  let field name conv j =
+    match Option.bind (Jz.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let event_of j =
+    let* kind_s = field "kind" Jz.str j in
+    let* kind =
+      match J.kind_of_label kind_s with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "unknown journal kind %S" kind_s)
+    in
+    let* name = field "name" Jz.str j in
+    let* v = field "v" Jz.int j in
+    let* ns = field "ns" Jz.int j in
+    Ok { J.j_kind = kind; j_name = name; j_v = v; j_ns = ns; j_ring = -1 }
+  in
+  let crash_of j =
+    let* schema = field "schema" Jz.int j in
+    if schema <> crash_schema then
+      Error (Printf.sprintf "unsupported schema %d (want %d)" schema crash_schema)
+    else
+      let* c_class = field "class" Jz.str j in
+      let* c_index = field "index" Jz.int j in
+      let* c_error = field "error" Jz.str j in
+      let* c_backtrace = field "backtrace" Jz.str j in
+      let* journal = field "journal" Jz.list j in
+      let* c_journal =
+        List.fold_left
+          (fun acc ev ->
+            let* acc = acc in
+            let* e = event_of ev in
+            Ok (e :: acc))
+          (Ok []) journal
+      in
+      Ok { c_class; c_index; c_error; c_backtrace; c_journal = List.rev c_journal }
+  in
+  let* rows = Jz.parse_lines text in
+  List.fold_left
+    (fun acc row ->
+      let* acc = acc in
+      let* c = crash_of row in
+      Ok (acc @ [ c ]))
+    (Ok []) rows
 
 let render s =
   let b = Buffer.create 512 in

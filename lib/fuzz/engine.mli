@@ -42,10 +42,35 @@ val mutate : Cet_util.Prng.t -> cls:string -> string -> string
     (exposed for regression tests).  Classes whose target structure cannot
     be located fall back to blind byte flips. *)
 
-val run : ?max_seconds:float -> seed:int -> count:int -> unit -> summary
+val run :
+  ?max_seconds:float ->
+  ?jobs:int ->
+  ?chaos:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
 (** Fuzz [count] mutants.  [max_seconds] (default 2.0) bounds each mutant's
-    analysis via {!Cet_util.Deadline}. *)
+    analysis via {!Cet_util.Deadline}.  Mutants are drawn sequentially
+    from one PRNG stream, then analysed on a {!Cet_util.Work_queue} pool
+    of [jobs] workers (default: the recommended domain count) and merged
+    in index order — the summary is byte-identical whatever [jobs], and
+    whatever scheduler-chaos [chaos] seed is injected. *)
 
 val render : summary -> string
 (** Deterministic human-readable summary, crashes (with backtraces)
     included. *)
+
+val crash_schema : int
+(** Version stamped into every crash row's [schema] field. *)
+
+val write_crashes : out_channel -> summary -> unit
+(** One JSON object per crash per line ([schema]/[class]/[index]/[error]/
+    [backtrace]/[journal]) — the [--crash-out] report format, mirroring
+    the harness quarantine report. *)
+
+val read_crashes : string -> (crash list, string) result
+(** Parse a whole crash JSONL document back into crash records — the
+    round-trip inverse of {!write_crashes} up to the journal events' ring
+    ids (not serialised; readers see [-1]).  Rejects rows whose [schema]
+    differs from {!crash_schema}. *)

@@ -5,6 +5,10 @@ type kind =
   | Deadline_slack
   | Retry
   | Quarantine
+  | Steal
+  | Backoff
+  | Breaker
+  | Shed
 
 let kind_label = function
   | Phase_begin -> "phase-begin"
@@ -13,6 +17,26 @@ let kind_label = function
   | Deadline_slack -> "deadline-slack"
   | Retry -> "retry"
   | Quarantine -> "quarantine"
+  | Steal -> "steal"
+  | Backoff -> "backoff"
+  | Breaker -> "breaker"
+  | Shed -> "shed"
+
+let all_kinds =
+  [
+    Phase_begin;
+    Phase_end;
+    Diag;
+    Deadline_slack;
+    Retry;
+    Quarantine;
+    Steal;
+    Backoff;
+    Breaker;
+    Shed;
+  ]
+
+let kind_of_label s = List.find_opt (fun k -> kind_label k = s) all_kinds
 
 type event = {
   j_kind : kind;

@@ -24,9 +24,20 @@ type kind =
       (** a {!Cet_util.Deadline} poll observed [v] ns of remaining budget *)
   | Retry  (** the harness is retrying a failed binary; [v] is the attempt *)
   | Quarantine  (** the harness gave up on a binary *)
+  | Steal
+      (** the scheduler stole an item; name is [thief<-victim] worker ids *)
+  | Backoff
+      (** a guarded unit backs off before a retry; [v] is the delay in ns *)
+  | Breaker
+      (** a circuit-breaker transition or skip; name is [group:action] *)
+  | Shed  (** deadline pressure degraded a unit to the cheaper analysis *)
 
 val kind_label : kind -> string
 (** Stable kebab-case name, used by every exporter. *)
+
+val kind_of_label : string -> kind option
+(** Inverse of {!kind_label} — the reading side of the quarantine/crash
+    JSONL round-trip. *)
 
 type event = {
   j_kind : kind;

@@ -198,7 +198,8 @@ let write_trace_chrome oc =
       List.iter
         (fun (e : Journal.event) ->
           match e.Journal.j_kind with
-          | Journal.Diag | Journal.Retry | Journal.Quarantine ->
+          | Journal.Diag | Journal.Retry | Journal.Quarantine
+          | Journal.Backoff | Journal.Breaker | Journal.Shed ->
             sep ();
             Printf.fprintf oc
               "{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"s\":\"t\"}"
@@ -207,7 +208,7 @@ let write_trace_chrome oc =
               (float_of_int e.Journal.j_ns /. 1e3)
               e.Journal.j_ring
           | Journal.Phase_begin | Journal.Phase_end | Journal.Deadline_slack
-            ->
+          | Journal.Steal ->
             ())
         (Journal.ring_events r))
     (Journal.rings ());

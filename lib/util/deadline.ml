@@ -36,6 +36,18 @@ let with_ ~seconds f =
       Domain.DLS.set key prev)
     f
 
+let remaining_fraction () =
+  if not (active ()) then None
+  else
+    match Domain.DLS.get key with
+    | None -> None
+    | Some s ->
+      let now = Unix.gettimeofday () in
+      (* Clamped: a nested deadline inherits a tighter [until] than its
+         own budget implies, so the raw ratio can exceed 1; an expired
+         one would go negative. *)
+      Some (Float.max 0.0 (Float.min 1.0 ((s.until -. now) /. s.budget)))
+
 let expired () =
   active ()
   &&

@@ -25,6 +25,12 @@ val with_ : seconds:float -> (unit -> 'a) -> 'a
 val expired : unit -> bool
 (** Has the calling domain's deadline passed?  [false] when none armed. *)
 
+val remaining_fraction : unit -> float option
+(** Fraction of the calling domain's armed budget still remaining,
+    clamped to [\[0,1\]]; [None] when no deadline is armed.  The
+    scheduler's shedding policy compares this against its
+    [shed_fraction] threshold to decide when to degrade work. *)
+
 val check : string -> unit
 (** Raise {!Expired} if the calling domain's deadline has passed; no-op
     when none is armed.  The argument names the checking loop. *)

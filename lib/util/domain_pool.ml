@@ -1,60 +1,15 @@
-type error = { index : int; exn : exn; bt : Printexc.raw_backtrace }
-
-let sequential n f =
-  if n = 0 then [||]
-  else begin
-    let results = Array.make n (f 0) in
-    for k = 1 to n - 1 do
-      results.(k) <- f k
-    done;
-    results
-  end
+(* Thin compatibility facade: the historical fixed-pool API, now
+   implemented by the work-stealing scheduler.  Callers that need
+   admission control, retries, breakers, or chaos use {!Work_queue}
+   directly; everyone else keeps this two-function surface. *)
 
 let map ?jobs n f =
+  if n < 0 then invalid_arg "Domain_pool.map: negative size";
   let jobs =
     match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
   in
-  if n < 0 then invalid_arg "Domain_pool.map: negative size";
-  (* The runtime refuses to run more than ~128 domains at once; stay well
-     under it so a generous --jobs never aborts the evaluation. *)
-  let jobs = max 1 (min (min jobs n) 120) in
-  if jobs <= 1 then sequential n f
-  else begin
-    (* Work stealing over a shared index counter: each slot is written by
-       exactly one worker, and [Domain.join] publishes those writes to the
-       spawning domain, so no further synchronisation is needed for
-       [results].  The first failure (lowest index a worker observed) wins
-       and drains the queue. *)
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let record_failure k exn bt =
-      let rec loop () =
-        match Atomic.get failure with
-        | Some { index; _ } when index <= k -> ()
-        | cur ->
-          if not (Atomic.compare_and_set failure cur (Some { index = k; exn; bt }))
-          then loop ()
-      in
-      loop ()
-    in
-    let rec worker () =
-      let k = Atomic.fetch_and_add next 1 in
-      if k < n && Atomic.get failure = None then begin
-        (match f k with
-        | v -> results.(k) <- Some v
-        | exception exn -> record_failure k exn (Printexc.get_raw_backtrace ()));
-        worker ()
-      end
-    in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    match Atomic.get failure with
-    | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
-    | None ->
-      Array.map (function Some v -> v | None -> assert false) results
-  end
+  let t = Work_queue.create (Work_queue.config ~jobs ()) in
+  Work_queue.map t n f
 
 let fold ?jobs ~merge init n f =
   Array.fold_left merge init (map ?jobs n f)

@@ -3,11 +3,12 @@
 
     [map ~jobs n f] evaluates [f k] for every [k] in [0 .. n-1] on up to
     [jobs] domains (including the calling one) and returns the results in
-    index order, exactly as [Array.init n f] would.  Scheduling is dynamic
-    (a shared counter), so uneven item costs balance across workers, but
-    the result array is always in plan order — callers that fold partial
-    accumulators over it are deterministic regardless of which domain ran
-    which item.
+    index order, exactly as [Array.init n f] would.  Scheduling is
+    dynamic — since PR 8 this is a facade over {!Work_queue}'s
+    work-stealing pool with default admission settings — so uneven item
+    costs balance across workers, but the result array is always in plan
+    order: callers that fold partial accumulators over it are
+    deterministic regardless of which domain ran which item.
 
     With [jobs <= 1] (or [n <= 1]) the work runs sequentially on the
     calling domain in ascending index order, with no domains spawned. *)

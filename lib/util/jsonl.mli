@@ -1,0 +1,44 @@
+(** A minimal JSON reader for the repo's own line-oriented reports.
+
+    The quarantine, crash, and profile reports are JSONL written by
+    hand-rolled printers ([json_escape] + [Printf]); PR 7's ["journal"]
+    field made the format load-bearing, so this module gives the reader
+    side: enough of RFC 8259 to round-trip everything those printers can
+    emit (objects, arrays, strings with the quote/backslash/slash/control
+    and [u]-hex escapes, numbers, booleans, null).  It is a test and
+    tooling surface,
+    not a general-purpose JSON library — no streaming, no trailing
+    garbage tolerance, integer-precision numbers as [float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in document order *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; the error string carries a byte
+    offset.  Leading/trailing whitespace is allowed, trailing non-space
+    input is an error. *)
+
+val parse_lines : string -> (t list, string) result
+(** Parse a JSONL document: one JSON value per non-empty line.  Stops at
+    the first bad line, reporting its 1-based line number. *)
+
+(** {1 Accessors} — [None] on shape mismatch, never an exception. *)
+
+val member : string -> t -> t option
+(** First field of that name in an [Obj]. *)
+
+val str : t -> string option
+
+val num : t -> float option
+
+val int : t -> int option
+(** [num] truncated; [None] if not integral. *)
+
+val bool : t -> bool option
+
+val list : t -> t list option

@@ -332,14 +332,17 @@ let fault_opts =
       Some (fun (b : Cet_corpus.Dataset.binary) -> b.Cet_corpus.Dataset.program = "coreutils_001");
   }
 
+let two_configs =
+  [
+    Cet_compiler.Options.default;
+    { Cet_compiler.Options.default with Cet_compiler.Options.arch = Arch.X86 };
+  ]
+
 let test_harness_quarantine () =
-  let configs =
-    [
-      Cet_compiler.Options.default;
-      { Cet_compiler.Options.default with Cet_compiler.Options.arch = Arch.X86 };
-    ]
+  let r =
+    Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:1
+      fault_opts
   in
-  let r = Harness.run ~profiles:[ micro_profile ] ~configs ~jobs:1 fault_opts in
   (* One of the two programs fails under both configs; the survivors'
      tables are complete and the failures carry the retry count. *)
   check Alcotest.int "quarantined" 2 (List.length r.Harness.failures);
@@ -396,6 +399,228 @@ let test_harness_fail_fast () =
        false
      with Failure msg -> contains ~needle:"injected fault" msg)
 
+(* ---- Scheduler chaos: timing only, never results ----------------------- *)
+
+let test_harness_chaos_identical () =
+  (* The strongest identity: a faulting plan (quarantines, retries) with
+     per-binary profiling, sequential-and-calm vs parallel-under-chaos.
+     Tables, failure order, and every profile row must match byte for
+     byte — chaos may only move work around in time. *)
+  let opts = { fault_opts with Harness.profile = true } in
+  let calm =
+    Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:1 opts
+  in
+  let stormy =
+    Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:4
+      { opts with Harness.chaos = Some 7 }
+  in
+  check Alcotest.string "byte-identical tables under chaos"
+    (Harness.render_all calm) (Harness.render_all stormy);
+  check Alcotest.string "same failure report under chaos"
+    (Harness.render_failures calm) (Harness.render_failures stormy);
+  check Alcotest.bool "identical profile rows under chaos" true
+    (calm.Harness.profiles = stormy.Harness.profiles);
+  check Alcotest.int "same survivors" calm.Harness.binaries
+    stormy.Harness.binaries
+
+(* ---- Graceful degradation: shedding under deadline pressure ------------ *)
+
+let test_harness_sheds_under_pressure () =
+  (* shed_fraction 2.0 beats any real remaining fraction, so a generous
+     run deadline sheds every binary deterministically: all rows run the
+     anchored-only analysis and say so in their profile status. *)
+  let opts =
+    {
+      Harness.default_options with
+      Harness.seed = 99;
+      scale = 1.0;
+      timing = false;
+      profile = true;
+      run_seconds = Some 3600.0;
+      shed_fraction = 2.0;
+    }
+  in
+  let r =
+    Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:2 opts
+  in
+  check Alcotest.int "nothing quarantined" 0 (List.length r.Harness.failures);
+  check Alcotest.int "all binaries evaluated (degraded)" 4 r.Harness.binaries;
+  check Alcotest.int "one profile row per binary" 4
+    (List.length r.Harness.profiles);
+  List.iter
+    (fun (p : Harness.profile) ->
+      check Alcotest.string "status records the downgrade" "shed"
+        p.Harness.p_status)
+    r.Harness.profiles;
+  (* Shed rows are still deterministic: same run again, byte-identical. *)
+  let r2 =
+    Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:1 opts
+  in
+  check Alcotest.string "shed tables identical across jobs"
+    (Harness.render_all r) (Harness.render_all r2);
+  check Alcotest.bool "shed profiles identical across jobs" true
+    (r.Harness.profiles = r2.Harness.profiles)
+
+(* ---- --progress accounting under retry and quarantine ------------------ *)
+
+(* Run [f] with stderr redirected to a temp file; return (result, text). *)
+let capture_stderr f =
+  let tmp = Filename.temp_file "progress" ".txt" in
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stderr;
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  let restore () =
+    flush stderr;
+    Unix.dup2 saved Unix.stderr;
+    Unix.close saved
+  in
+  let r = try f () with e -> restore (); Sys.remove tmp; raise e in
+  restore ();
+  let ic = open_in_bin tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  (r, text)
+
+let test_progress_counts_each_binary_once () =
+  (* The faulting plan retries (2 attempts) and quarantines 2 of the 4
+     binaries.  The progress accounting must still count every binary
+     exactly once — the summary line pins done = 4 of 4, 2 quarantined,
+     2 retried, however many attempts the guard burned. *)
+  let opts = { fault_opts with Harness.progress = true } in
+  let r, text =
+    capture_stderr (fun () ->
+        Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:2
+          opts)
+  in
+  check Alcotest.int "quarantined" 2 (List.length r.Harness.failures);
+  check Alcotest.bool "summary counts each binary once" true
+    (contains ~needle:"4/4 binaries" text);
+  check Alcotest.bool "summary reports quarantines" true
+    (contains ~needle:"2 quarantined" text);
+  check Alcotest.bool "summary reports retries" true
+    (contains ~needle:"2 retried" text);
+  check Alcotest.bool "no overcount anywhere" false
+    (contains ~needle:"5/4" text || contains ~needle:"6/4" text)
+
+(* ---- Quarantine JSONL round-trip --------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_quarantine_roundtrip () =
+  let r =
+    Harness.run ~profiles:[ micro_profile ] ~configs:two_configs ~jobs:1
+      fault_opts
+  in
+  check Alcotest.int "two failures to serialise" 2
+    (List.length r.Harness.failures);
+  let tmp = Filename.temp_file "quarantine" ".jsonl" in
+  let oc = open_out tmp in
+  Harness.write_quarantine oc r;
+  close_out oc;
+  let text = read_file tmp in
+  Sys.remove tmp;
+  check Alcotest.bool "rows carry the schema" true
+    (contains
+       ~needle:(Printf.sprintf "\"schema\":%d" Harness.quarantine_schema)
+       text);
+  (match Harness.read_quarantine text with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok failures ->
+    (* The journal was disabled during the run, so the black boxes are
+       empty and the records round-trip exactly. *)
+    check Alcotest.bool "parsed = written" true
+      (failures = r.Harness.failures));
+  (* A wrong schema version is refused, not misread. *)
+  let tampered =
+    Printf.sprintf "{\"schema\":%d,\"suite\":\"s\",\"program\":\"p\",\
+                    \"config\":\"c\",\"attempts\":1,\"error\":\"e\",\
+                    \"backtrace\":\"\",\"journal\":[]}\n"
+      (Harness.quarantine_schema + 1)
+  in
+  check Alcotest.bool "wrong schema rejected" true
+    (Result.is_error (Harness.read_quarantine tampered));
+  check Alcotest.bool "garbage rejected" true
+    (Result.is_error (Harness.read_quarantine "{\"schema\":oops}\n"))
+
+(* ---- Crash-report JSONL round-trip ------------------------------------- *)
+
+let test_crash_report_roundtrip () =
+  let module E = Cet_fuzz.Engine in
+  let module J = Cet_telemetry.Journal in
+  (* A hand-built summary with a black box: ring ids are not serialised,
+     so the round-trip normalises them to -1 and everything else must
+     survive exactly — including characters the JSON escaper must cover. *)
+  let event kind name v =
+    { J.j_kind = kind; j_name = name; j_v = v; j_ns = 123_456; j_ring = 9 }
+  in
+  let crash =
+    {
+      E.c_class = "elf-header";
+      c_index = 41;
+      c_error = "Failure(\"bad \\ byte\ttab\")";
+      c_backtrace = "Raised at line 1\nCalled from line 2";
+      c_journal =
+        [ event J.Diag "elf/truncated" 3; event J.Deadline_slack "sweep" 77 ];
+    }
+  in
+  let s =
+    {
+      E.total = 100;
+      per_class = [ ("elf-header", 50); ("byte-flip", 50) ];
+      clean = 60;
+      degraded = 39;
+      rejected = 0;
+      timeouts = 1;
+      crashes = [ crash ];
+    }
+  in
+  let tmp = Filename.temp_file "crashes" ".jsonl" in
+  let oc = open_out tmp in
+  E.write_crashes oc s;
+  close_out oc;
+  let text = read_file tmp in
+  Sys.remove tmp;
+  check Alcotest.bool "rows carry the schema" true
+    (contains ~needle:(Printf.sprintf "\"schema\":%d" E.crash_schema) text);
+  (match E.read_crashes text with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok [ back ] ->
+    check Alcotest.string "class" crash.E.c_class back.E.c_class;
+    check Alcotest.int "index" crash.E.c_index back.E.c_index;
+    check Alcotest.string "error survives escaping" crash.E.c_error
+      back.E.c_error;
+    check Alcotest.string "backtrace survives newlines" crash.E.c_backtrace
+      back.E.c_backtrace;
+    check Alcotest.bool "journal events round-trip (ring id reset)" true
+      (back.E.c_journal
+      = List.map (fun e -> { e with J.j_ring = -1 }) crash.E.c_journal)
+  | Ok l -> Alcotest.failf "expected 1 crash, parsed %d" (List.length l));
+  (* Version skew is refused. *)
+  let tampered =
+    Printf.sprintf
+      "{\"schema\":%d,\"class\":\"x\",\"index\":0,\"error\":\"e\",\
+       \"backtrace\":\"\",\"journal\":[]}\n"
+      (E.crash_schema + 1)
+  in
+  check Alcotest.bool "wrong schema rejected" true
+    (Result.is_error (E.read_crashes tampered))
+
+(* ---- Fuzz engine under jobs and chaos ---------------------------------- *)
+
+let test_fuzz_chaos_identical () =
+  let base = Cet_fuzz.Engine.run ~seed:11 ~count:40 ~jobs:1 () in
+  let stormy = Cet_fuzz.Engine.run ~seed:11 ~count:40 ~jobs:4 ~chaos:99 () in
+  check Alcotest.string "fuzz summary identical under jobs+chaos"
+    (Cet_fuzz.Engine.render base)
+    (Cet_fuzz.Engine.render stormy)
+
 let suite =
   [
     ( "robust",
@@ -418,5 +643,17 @@ let suite =
         Alcotest.test_case "harness quarantine parallel" `Slow
           test_harness_quarantine_parallel_identical;
         Alcotest.test_case "harness fail-fast" `Quick test_harness_fail_fast;
+        Alcotest.test_case "harness chaos identical" `Slow
+          test_harness_chaos_identical;
+        Alcotest.test_case "harness sheds under pressure" `Quick
+          test_harness_sheds_under_pressure;
+        Alcotest.test_case "progress counts each binary once" `Quick
+          test_progress_counts_each_binary_once;
+        Alcotest.test_case "quarantine jsonl round-trip" `Quick
+          test_quarantine_roundtrip;
+        Alcotest.test_case "crash report jsonl round-trip" `Quick
+          test_crash_report_roundtrip;
+        Alcotest.test_case "fuzz chaos identical" `Slow
+          test_fuzz_chaos_identical;
       ] );
   ]
