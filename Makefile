@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.  `make check` is the PR verify: build,
 # test, and smoke the multi-core evaluation path (--jobs 2).
-.PHONY: all test bench bench-json bench-diff bench-history check fuzz triage chaos
+.PHONY: all test bench bench-json bench-diff bench-history check fuzz triage chaos obs
 
 all:
 	dune build
@@ -64,3 +64,23 @@ chaos:
 # (a smaller seeded smoke of the same path runs as part of `make check`).
 triage:
 	dune exec bin/evaluate.exe -- all --triage --scale 0.05 --no-timing
+
+# Cross-run analysis: two manifested runs under different schedulers, then
+# the cetstat report / diff / anomalies suite over them.  The diff must be
+# clean — same corpus, same verdicts, joined 100% by content digest — and
+# byte-identical whichever scheduler produced either side (a smaller smoke
+# of the same invariant runs as part of `make check`).
+obs:
+	dune build bin/evaluate.exe bin/cetstat.exe
+	dune exec --no-build bin/evaluate.exe -- all --scale 0.05 --jobs 2 \
+	  --no-timing --manifest-out /tmp/cet-obs-a.manifest.jsonl \
+	  --profile-out /tmp/cet-obs-a.prof.jsonl \
+	  --trace-out /tmp/cet-obs-a.trace.jsonl > /dev/null
+	dune exec --no-build bin/evaluate.exe -- all --scale 0.05 --jobs 4 \
+	  --no-timing --chaos $(CHAOS_SEED) \
+	  --manifest-out /tmp/cet-obs-b.manifest.jsonl \
+	  --profile-out /tmp/cet-obs-b.prof.jsonl > /dev/null
+	dune exec --no-build bin/cetstat.exe -- report /tmp/cet-obs-a.manifest.jsonl
+	dune exec --no-build bin/cetstat.exe -- diff /tmp/cet-obs-a.manifest.jsonl \
+	  /tmp/cet-obs-b.manifest.jsonl
+	dune exec --no-build bin/cetstat.exe -- anomalies /tmp/cet-obs-a.manifest.jsonl

@@ -37,13 +37,24 @@ let parse_file path =
     dups;
   rows
 
+(* A file that exists but yields no benchmark rows is malformed (or the
+   wrong file entirely); treating it as an empty benchmark set would
+   silently blank a column of the trajectory — or worse, pass a diff. *)
+let parse_file_strict path =
+  match parse_file path with
+  | [] ->
+    Printf.eprintf
+      "bench-diff: %s: no benchmark rows (malformed or non-bench JSON)\n" path;
+    exit 2
+  | rows -> rows
+
 (* --history BENCH_2.json..BENCH_6.json: the per-row trajectory across every
    recorded bench file in the range, with a last/first ratio — the long view
    the pairwise gate cannot give.  Informational: always exits 0 once the
    range parses and at least two files exist. *)
 let run_history spec =
-  let files =
-    match B.expand_range ~exists:Sys.file_exists spec with
+  let all_files =
+    match B.expand_range ~exists:(fun _ -> true) spec with
     | Some files -> files
     | None ->
       Printf.eprintf
@@ -51,13 +62,28 @@ let run_history spec =
          (same name around the version number)\n";
       exit 2
   in
+  (* The endpoints name the range: a missing endpoint is a typo, not a
+     skippable gap like a PR that recorded no bench file. *)
+  (match all_files with
+  | first :: _ :: _ ->
+    List.iter
+      (fun endpoint ->
+        if not (Sys.file_exists endpoint) then begin
+          Printf.eprintf "bench-diff: --history endpoint %s does not exist\n"
+            endpoint;
+          exit 2
+        end)
+      [ first; List.nth all_files (List.length all_files - 1) ]
+  | _ -> ());
+  let files = List.filter Sys.file_exists all_files in
   if List.length files < 2 then begin
     Printf.eprintf
       "bench-diff: --history %s: fewer than two of the range's files exist\n"
       spec;
     exit 2
   end;
-  let rows = B.history (List.map parse_file files) in
+  let tables = List.map parse_file_strict files in
+  let rows = B.history tables in
   let labels =
     List.map
       (fun f ->
@@ -84,6 +110,19 @@ let run_history spec =
       | _ -> Printf.printf "  %9s" "-");
       print_newline ())
     rows;
+  (* The per-hop view: a geomean over every shared row compresses one
+     version step into one number the per-row table cannot give. *)
+  let rec hops = function
+    | (la, ta) :: ((lb, tb) :: _ as rest) ->
+      (match B.geomean_ratio ta tb with
+      | Some (g, n) ->
+        Printf.printf "  hop %s -> %s: geomean %.3fx over %d shared tests\n" la lb
+          g n
+      | None -> Printf.printf "  hop %s -> %s: no shared tests\n" la lb);
+      hops rest
+    | _ -> ()
+  in
+  hops (List.combine labels tables);
   Printf.printf "tracked %d tests across %d files\n" (List.length rows)
     (List.length files)
 

@@ -11,6 +11,7 @@
      evaluate --profile-out p.jsonl --top-slow 10 all        # per-binary profiles
      evaluate --slo "funseeker:p99<=50ms" all                # latency objectives
      evaluate --metrics-out m.prom all                       # OpenMetrics exposition
+     evaluate --manifest-out run.jsonl all                   # content-hashed run manifest
 
    Exit codes: 0 on success, 1 when binaries were quarantined, 2 on usage
    errors, 3 when a --slo objective was breached. *)
@@ -23,7 +24,7 @@ module Report = Cet_telemetry.Report
 
 let run_eval what seed scale progress jobs no_timing stats trace_out trace_format
     max_seconds quarantine_out fail_fast inject_fault triage triage_out
-    profile_out top_slow slo metrics_out chaos run_seconds =
+    profile_out top_slow slo metrics_out manifest_out chaos run_seconds =
   if jobs <= 0 then begin
     Printf.eprintf "evaluate: --jobs must be a positive worker count (got %d)\n" jobs;
     exit 2
@@ -77,9 +78,12 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   let triage_oc = open_report "--triage-out" triage_out in
   let profile_oc = open_report "--profile-out" profile_out in
   let metrics_oc = open_report "--metrics-out" metrics_out in
+  let manifest_oc = open_report "--manifest-out" manifest_out in
   (* --triage-out implies the forensics pass itself. *)
   let triage = triage || triage_out <> None in
-  let profile = profile_oc <> None || top_slow > 0 in
+  (* The manifest's per-binary rows and its run digest come from the
+     profile rows, so --manifest-out implies profiling. *)
+  let profile = profile_oc <> None || top_slow > 0 || manifest_oc <> None in
   if stats || trace_out <> None || metrics_oc <> None then
     Telemetry.enable ~trace:(trace_out <> None) ();
   (* The flight recorder feeds the quarantine black boxes and the trace's
@@ -128,6 +132,8 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   in
   let t0 = Unix.gettimeofday () in
   let status = ref 0 in
+  (* Captured from the results branch for the metrics info labels below. *)
+  let results_digest = ref None in
   let out =
     match what with
     | "manual-endbr" ->
@@ -162,6 +168,25 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
         Cet_eval.Harness.write_profiles oc results;
         Printf.eprintf "profile report written to %s (%d rows)\n" path
           (List.length results.Cet_eval.Harness.profiles));
+      if profile then
+        results_digest := Some (Cet_eval.Harness.run_digest results);
+      (match manifest_oc with
+      | None -> ()
+      | Some (path, oc) ->
+        let meta =
+          {
+            Cet_eval.Harness.m_experiment = what;
+            m_jobs = jobs;
+            m_chaos = chaos;
+            m_profile_art = profile_out;
+            m_quarantine_art = quarantine_out;
+            m_trace_art = trace_out;
+            m_metrics_art = metrics_out;
+          }
+        in
+        Cet_eval.Harness.write_manifest oc ~meta opts results;
+        Printf.eprintf "run manifest written to %s (digest %s)\n" path
+          (Cet_eval.Harness.run_digest results));
       let base =
         match what with
         | "all" -> Cet_eval.Harness.render_all results
@@ -188,6 +213,7 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   Option.iter (fun (_, oc) -> close_out oc) quarantine_oc;
   Option.iter (fun (_, oc) -> close_out oc) triage_oc;
   Option.iter (fun (_, oc) -> close_out oc) profile_oc;
+  Option.iter (fun (_, oc) -> close_out oc) manifest_oc;
   let wall = Unix.gettimeofday () -. t0 in
   print_string out;
   if stats then begin
@@ -215,7 +241,13 @@ let run_eval what seed scale progress jobs no_timing stats trace_out trace_forma
   (match metrics_oc with
   | None -> ()
   | Some (path, oc) ->
-    Report.write_openmetrics oc;
+    (* Run identity rides along as a cet_run_info gauge so a scrape can
+       be joined back to its manifest by digest. *)
+    let info =
+      (match !results_digest with Some d -> [ ("digest", d) ] | None -> [])
+      @ [ ("seed", string_of_int seed) ]
+    in
+    Report.write_openmetrics ~info oc;
     close_out oc;
     Printf.eprintf "metrics written to %s\n" path);
   (* Objectives are checked over everything observed this run; any breach
@@ -372,6 +404,18 @@ let metrics_out =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let manifest_out =
+  let doc =
+    "Write a versioned run manifest (JSON lines: one run header with options, \
+     corpus scale, scheduler knobs and a content digest of the whole run, \
+     then one row per binary with the MD5 of its bytes and its analysis \
+     verdict, plus pointers to the other report artifacts) to $(docv).  The \
+     manifest is what $(b,cetstat) joins runs by.  Implies per-binary \
+     profiling.  The file is opened before the run, so an unwritable path \
+     fails fast with exit code 2."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest-out" ] ~docv:"FILE" ~doc)
+
 let chaos =
   let doc =
     "Chaos soak: inject seeded scheduler-level faults (worker stalls, \
@@ -405,6 +449,6 @@ let cmd =
       const run_eval $ what $ seed $ scale $ progress $ jobs $ no_timing $ stats
       $ trace_out $ trace_format $ max_seconds $ quarantine_out $ fail_fast
       $ inject_fault $ triage $ triage_out $ profile_out $ top_slow $ slo
-      $ metrics_out $ chaos $ run_seconds)
+      $ metrics_out $ manifest_out $ chaos $ run_seconds)
 
 let () = exit (Cmd.eval' cmd)

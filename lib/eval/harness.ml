@@ -57,6 +57,7 @@ type profile = {
   p_program : string;
   p_config : string;
   p_arch : string;
+  p_digest : string;
   p_text_bytes : int;
   p_insns : int;
   p_resyncs : int;
@@ -87,6 +88,14 @@ type results = {
 }
 
 let arch_name = function Cet_x86.Arch.X86 -> "x86" | Cet_x86.Arch.X64 -> "x64"
+
+(* Content identity of one analyzed binary: an MD5 over its stripped ELF
+   bytes — exactly what every tool sees.  The corpus generator is
+   deterministic in the seed, so the digest is stable across runs, jobs,
+   and chaos seeds; it is the join key for every cross-run comparison
+   (cetstat diff) and the first half of the ROADMAP's content-addressed
+   result store. *)
+let content_digest bytes = Digest.to_hex (Digest.string bytes)
 
 let timed f x =
   let t0 = Unix.gettimeofday () in
@@ -329,6 +338,7 @@ let run ?profiles ?configs ?jobs (opts : options) =
             p_program = bin.program;
             p_config = config_s;
             p_arch = arch;
+            p_digest = content_digest bin.stripped;
             p_text_bytes = fx.Substrate.f_size;
             p_insns = fx.Substrate.f_insns;
             p_resyncs = fx.Substrate.f_resync_errors;
@@ -395,6 +405,10 @@ let run ?profiles ?configs ?jobs (opts : options) =
       p_program = bin.program;
       p_config = Options.to_string bin.config;
       p_arch = arch_name bin.config.Options.arch;
+      (* The bytes exist even when the analysis never ran (breaker skip,
+         quarantine): content identity is a property of the input, not of
+         the outcome, so cross-run joins still see the row. *)
+      p_digest = content_digest bin.stripped;
       p_text_bytes = 0;
       p_insns = 0;
       p_resyncs = 0;
@@ -862,37 +876,115 @@ let write_profiles oc r =
              p.p_phases)
       in
       Printf.fprintf oc
-        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"arch\":\"%s\",\"text_bytes\":%d,\"insns\":%d,\"resyncs\":%d,\"truth\":%d,\"diags\":%d,\"attempts\":%d,\"status\":\"%s\",\"total_ms\":%.3f,\"phases\":{%s}}\n"
+        "{\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"arch\":\"%s\",\"digest\":\"%s\",\"text_bytes\":%d,\"insns\":%d,\"resyncs\":%d,\"truth\":%d,\"diags\":%d,\"attempts\":%d,\"status\":\"%s\",\"total_ms\":%.3f,\"phases\":{%s}}\n"
         (json_escape p.p_suite) (json_escape p.p_program) (json_escape p.p_config)
-        (json_escape p.p_arch) p.p_text_bytes p.p_insns p.p_resyncs p.p_truth
-        p.p_diags p.p_attempts (json_escape p.p_status) p.p_total_ms phases)
+        (json_escape p.p_arch) (json_escape p.p_digest) p.p_text_bytes p.p_insns
+        p.p_resyncs p.p_truth p.p_diags p.p_attempts (json_escape p.p_status)
+        p.p_total_ms phases)
     r.profiles
 
+(* ------------------------------------------------------------------ *)
+(* Run manifests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Version of the manifest JSONL format; bump on any key change. *)
+let manifest_schema = 1
+
+let profile_key p = p.p_suite ^ "/" ^ p.p_program ^ "[" ^ p.p_config ^ "]"
+
+(* The run digest: an MD5 over every binary's identity and content digest,
+   one "key=digest" line per profile row in plan order.  Volatile fields
+   (status, attempts, timings) are excluded, so the digest identifies the
+   analyzed corpus content — two runs of the same corpus share it whatever
+   their --jobs, --chaos seed, or shedding behaviour.  Requires profiling
+   to have been on ({!options.profile}); an unprofiled run digests the
+   empty row set. *)
+let run_digest r =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (profile_key p);
+      Buffer.add_char buf '=';
+      Buffer.add_string buf p.p_digest;
+      Buffer.add_char buf '\n')
+    r.profiles;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type manifest_meta = {
+  m_experiment : string;
+  m_jobs : int;
+  m_chaos : int option;
+  m_profile_art : string option;
+  m_quarantine_art : string option;
+  m_trace_art : string option;
+  m_metrics_art : string option;
+}
+
+let write_manifest oc ~meta (opts : options) r =
+  let opt_str = function
+    | None -> "null"
+    | Some s -> "\"" ^ json_escape s ^ "\""
+  in
+  let opt_int = function None -> "null" | Some n -> string_of_int n in
+  Printf.fprintf oc
+    "{\"schema\":%d,\"kind\":\"run\",\"digest\":\"%s\",\"experiment\":\"%s\",\"seed\":%d,\"scale\":%g,\"jobs\":%d,\"chaos\":%s,\"timing\":%b,\"binaries\":%d,\"functions\":%d,\"quarantined\":%d,\"artifacts\":{\"profile\":%s,\"quarantine\":%s,\"trace\":%s,\"metrics\":%s}}\n"
+    manifest_schema (run_digest r)
+    (json_escape meta.m_experiment)
+    opts.seed opts.scale meta.m_jobs (opt_int meta.m_chaos) opts.timing
+    r.binaries r.functions
+    (List.length r.failures)
+    (opt_str meta.m_profile_art)
+    (opt_str meta.m_quarantine_art)
+    (opt_str meta.m_trace_art) (opt_str meta.m_metrics_art);
+  List.iter
+    (fun p ->
+      Printf.fprintf oc
+        "{\"schema\":%d,\"kind\":\"binary\",\"suite\":\"%s\",\"program\":\"%s\",\"config\":\"%s\",\"arch\":\"%s\",\"digest\":\"%s\",\"status\":\"%s\",\"attempts\":%d,\"text_bytes\":%d,\"insns\":%d,\"resyncs\":%d,\"truth\":%d}\n"
+        manifest_schema (json_escape p.p_suite) (json_escape p.p_program)
+        (json_escape p.p_config) (json_escape p.p_arch) (json_escape p.p_digest)
+        (json_escape p.p_status) p.p_attempts p.p_text_bytes p.p_insns
+        p.p_resyncs p.p_truth)
+    r.profiles
+
+(* A shed row's clock measured the degraded anchored-only analysis, not
+   the full pipeline: ranking it against ok rows by total_ms silently
+   presents the corner that was cut as speed.  Shed rows are excluded
+   from the ranking and reported separately. *)
 let top_slow r k =
   if k <= 0 then []
   else
     (* Stable on ties so equal-cost rows keep plan order. *)
     let sorted =
-      List.stable_sort (fun a b -> compare b.p_total_ms a.p_total_ms) r.profiles
+      List.stable_sort
+        (fun a b -> compare b.p_total_ms a.p_total_ms)
+        (List.filter (fun p -> p.p_status <> "shed") r.profiles)
     in
     List.filteri (fun i _ -> i < k) sorted
 
 let render_top_slow r k =
-  match top_slow r k with
-  | [] -> ""
-  | ps ->
+  let shed = List.filter (fun p -> p.p_status = "shed") r.profiles in
+  match (top_slow r k, shed) with
+  | [], [] -> ""
+  | ps, shed ->
     let buf = Buffer.create 512 in
     Buffer.add_string buf
       (Printf.sprintf "SLOWEST BINARIES (top %d of %d profiled)\n" (List.length ps)
          (List.length r.profiles));
-    Buffer.add_string buf
-      (Printf.sprintf "  %-34s %-22s %10s %9s %8s  %s\n" "binary" "config"
-         "total(ms)" "insns" "resyncs" "status");
-    List.iter
-      (fun p ->
-        Buffer.add_string buf
-          (Printf.sprintf "  %-34s %-22s %10.3f %9d %8d  %s\n"
-             (p.p_suite ^ "/" ^ p.p_program)
-             p.p_config p.p_total_ms p.p_insns p.p_resyncs p.p_status))
-      ps;
+    if ps <> [] then begin
+      Buffer.add_string buf
+        (Printf.sprintf "  %-34s %-22s %10s %9s %8s  %s\n" "binary" "config"
+           "total(ms)" "insns" "resyncs" "status");
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-34s %-22s %10.3f %9d %8d  %s\n"
+               (p.p_suite ^ "/" ^ p.p_program)
+               p.p_config p.p_total_ms p.p_insns p.p_resyncs p.p_status))
+        ps
+    end;
+    if shed <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %d shed (degraded under deadline pressure; timings not comparable, excluded from ranking)\n"
+           (List.length shed));
     Buffer.contents buf

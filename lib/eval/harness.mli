@@ -93,6 +93,9 @@ type profile = {
   p_program : string;
   p_config : string;  (** {!Cet_compiler.Options.to_string} descriptor *)
   p_arch : string;  (** ["x86"] or ["x64"] *)
+  p_digest : string;
+      (** {!content_digest} of the stripped ELF bytes — the binary's
+          stable content identity, present whatever [p_status] *)
   p_text_bytes : int;  (** [.text] size ({!Cet_disasm.Substrate.facts}) *)
   p_insns : int;  (** instructions decoded by the linear sweep *)
   p_resyncs : int;  (** sweep desynchronisation events *)
@@ -109,6 +112,12 @@ type profile = {
 }
 
 val profile_phase_names : string list
+
+val content_digest : string -> string
+(** Hex MD5 of a binary's stripped ELF bytes: its content identity.  The
+    corpus is deterministic in the seed, so the digest is stable across
+    runs, [--jobs], and [--chaos] — it keys every cross-run join
+    ([cetstat diff]) and, later, the content-addressed result store. *)
 
 val ewma_update : alpha:float -> prev:float option -> float -> float
 (** One exponentially-weighted-moving-average step: the first observation
@@ -177,16 +186,53 @@ val read_quarantine : string -> (failure list, string) result
 
 val write_profiles : out_channel -> results -> unit
 (** One JSON object per profile per line, keys in a fixed order ([suite],
-    [program], [config], [arch], [text_bytes], [insns], [resyncs],
-    [truth], [diags], [attempts], [status], [total_ms], [phases]) — the
-    [--profile-out] report format.  Rows are in plan order and, under
-    [timing = false], byte-identical across [~jobs]. *)
+    [program], [config], [arch], [digest], [text_bytes], [insns],
+    [resyncs], [truth], [diags], [attempts], [status], [total_ms],
+    [phases]) — the [--profile-out] report format.  Rows are in plan
+    order and, under [timing = false], byte-identical across [~jobs]. *)
+
+val manifest_schema : int
+(** Version stamped into every manifest row's [schema] field. *)
+
+val profile_key : profile -> string
+(** ["suite/program[config]"] — the identity half of a manifest row. *)
+
+val run_digest : results -> string
+(** Hex MD5 over every profile row's ["key=digest"] line in plan order:
+    the whole run's content identity.  Volatile fields (status, attempts,
+    timings) are excluded, so two runs over the same corpus share the
+    digest whatever their [--jobs], [--chaos] seed, or shedding.
+    Meaningful only when {!options.profile} was on (the digest of an
+    unprofiled run covers zero rows). *)
+
+type manifest_meta = {
+  m_experiment : string;  (** the positional EXPERIMENT argument *)
+  m_jobs : int;
+  m_chaos : int option;
+  m_profile_art : string option;  (** [--profile-out] path, when given *)
+  m_quarantine_art : string option;
+  m_trace_art : string option;
+  m_metrics_art : string option;
+}
+
+val write_manifest : out_channel -> meta:manifest_meta -> options -> results -> unit
+(** The [--manifest-out] run manifest: one schema-tagged [kind:"run"]
+    header (run digest, options, corpus scale/jobs/chaos seed, pointers
+    to the run's other artifacts), then one [kind:"binary"] row per
+    profile (identity, content digest, status/attempts, decode volume).
+    Parsed back by [Cet_obs.Manifest].  Requires {!options.profile};
+    under [timing = false] the binary rows are byte-identical across
+    [--jobs] and [--chaos]. *)
 
 val top_slow : results -> int -> profile list
-(** The [k] profiles with the largest [p_total_ms], ties in plan order. *)
+(** The [k] profiles with the largest [p_total_ms], ties in plan order.
+    Shed rows are excluded — their clock measured the degraded analysis,
+    so ranking them among full evaluations would present the cut corner
+    as speed. *)
 
 val render_top_slow : results -> int -> string
-(** Aligned table over {!top_slow}; [""] when nothing was profiled. *)
+(** Aligned table over {!top_slow}, plus one line counting the shed rows
+    excluded from the ranking; [""] when nothing was profiled. *)
 
 val arch_name : Cet_x86.Arch.t -> string
 (** Table III row key: ["x86"] or ["x64"]. *)

@@ -229,8 +229,37 @@ let metric_name raw =
 
 let seconds ns = float_of_int ns /. 1e9
 
-let write_openmetrics oc =
+(* Label values live inside double quotes in the exposition format, which
+   gives backslash, double-quote and line-feed escapes — and nothing
+   else — their own syntax. *)
+let openmetrics_label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_openmetrics ?(info = []) oc =
   let m = Registry.merged () in
+  (* The run-identity info gauge first: constant 1, all content in the
+     labels (digest, seed, ...), the Prometheus idiom for joinable
+     metadata — a scrape and a run manifest sharing the digest label are
+     the same run. *)
+  if info <> [] then begin
+    Printf.fprintf oc "# HELP cet_run_info Run identity labels.\n";
+    Printf.fprintf oc "# TYPE cet_run_info gauge\n";
+    Printf.fprintf oc "cet_run_info{%s} 1\n"
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "%s=\"%s\"" k (openmetrics_label_escape v))
+            info))
+  end;
   List.iter
     (fun (name, (c : Registry.counter)) ->
       let n = metric_name name in

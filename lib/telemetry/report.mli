@@ -38,10 +38,18 @@ val write_trace_chrome : out_channel -> unit
     ([ph = "i"], thread scope) marker on the owning domain's track, so
     failures pin themselves onto the span timeline. *)
 
-val write_openmetrics : out_channel -> unit
+val openmetrics_label_escape : string -> string
+(** Escape a label {e value} per the exposition format: backslash,
+    double quote and line feed get escapes; everything else is verbatim. *)
+
+val write_openmetrics : ?info:(string * string) list -> out_channel -> unit
 (** Prometheus/OpenMetrics text exposition of the merged registry:
     counters as [cet_<name>_total], gauges as [cet_<name>], span
     histograms as [cet_phase_<name>_seconds] with cumulative
     power-of-two-edge [le] buckets, [_sum]/[_count], and a closing
     [# EOF].  Names are sanitized to the metric grammar ([[a-zA-Z0-9_]]
-    under a [cet_] prefix). *)
+    under a [cet_] prefix).  A non-empty [info] list additionally emits a
+    constant [cet_run_info{k="v",...} 1] gauge carrying run identity
+    (manifest digest, seed) so scrapes are joinable with run manifests;
+    label keys are used verbatim (callers pass grammar-safe keys), label
+    values are escaped with {!openmetrics_label_escape}. *)

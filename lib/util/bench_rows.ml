@@ -157,6 +157,23 @@ let history tables =
     tables;
   List.rev_map (fun name -> { h_name = name; h_means = Hashtbl.find idx name }) !order
 
+(* Geometric mean of new/old ratios over the tests both lists time with a
+   positive mean.  In log space so a thousand tiny ratios cannot
+   underflow a running product. *)
+let geomean_ratio old_rows new_rows =
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace old_tbl r.name r.mean_ns) old_rows;
+  let log_sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt old_tbl r.name with
+      | Some old_ns when old_ns > 0.0 && r.mean_ns > 0.0 ->
+        log_sum := !log_sum +. log (r.mean_ns /. old_ns);
+        incr n
+      | Some _ | None -> ())
+    new_rows;
+  if !n = 0 then None else Some (exp (!log_sum /. float_of_int !n), !n)
+
 type comparison = {
   c_name : string;
   c_old_ns : float;

@@ -47,6 +47,12 @@ val history : row list list -> history_row list
     distinct test, with [None] where a file lacks it — the
     [bench_diff --history] trajectory view. *)
 
+val geomean_ratio : row list -> row list -> (float * int) option
+(** Geometric mean of the new/old mean-time ratios over the tests present
+    in both lists with positive means, plus how many such tests there
+    were; [None] when no test is comparable.  The [--history] per-hop
+    summary: below 1.0 the hop got faster overall. *)
+
 type comparison = {
   c_name : string;
   c_old_ns : float;

@@ -35,16 +35,25 @@ let hex_digit pos c =
   | _ -> fail pos "bad hex digit in \\u escape"
 
 let utf8_add buf cp =
-  (* The writers only escape below 0x20, but accept any BMP scalar (and
-     surrogate pairs would arrive as two \u escapes we encode blindly —
-     good enough for reading our own output). *)
+  (* The writers only escape below 0x20, but accept any scalar up to
+     U+10FFFF: surrogate pairs are combined by the string parser below, so
+     astral codepoints need the 4-byte form.  A lone surrogate (which no
+     conforming writer emits) is encoded blindly in the 3-byte form —
+     lenient WTF-8 rather than a hard error, good enough for reading our
+     own output. *)
   if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
   else if cp < 0x800 then begin
     Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
-  else begin
+  else if cp < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
@@ -74,8 +83,27 @@ let parse_string s i =
           if !i + 4 >= n then fail !i "truncated \\u escape";
           let h k = hex_digit (!i + k) s.[!i + k] in
           let cp = (h 1 lsl 12) lor (h 2 lsl 8) lor (h 3 lsl 4) lor h 4 in
-          utf8_add buf cp;
-          i := !i + 5
+          i := !i + 5;
+          (* RFC 8259 represents astral codepoints as a UTF-16 surrogate
+             pair of two \u escapes; a high surrogate followed by a low
+             one combines into one scalar.  Anything else falls through
+             to the lenient single-escape encoding. *)
+          if
+            cp >= 0xD800 && cp <= 0xDBFF
+            && !i + 5 < n
+            && s.[!i] = '\\'
+            && s.[!i + 1] = 'u'
+          then begin
+            let h2 k = hex_digit (!i + k) s.[!i + k] in
+            let lo = (h2 2 lsl 12) lor (h2 3 lsl 8) lor (h2 4 lsl 4) lor h2 5 in
+            if lo >= 0xDC00 && lo <= 0xDFFF then begin
+              utf8_add buf
+                (0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00)));
+              i := !i + 6
+            end
+            else utf8_add buf cp
+          end
+          else utf8_add buf cp
         | c -> fail !i (Printf.sprintf "bad escape '\\%c'" c));
         go ()
       | c ->

@@ -8,7 +8,9 @@
     and [u]-hex escapes, numbers, booleans, null).  It is a test and
     tooling surface,
     not a general-purpose JSON library — no streaming, no trailing
-    garbage tolerance, integer-precision numbers as [float]. *)
+    garbage tolerance, integer-precision numbers as [float].  [\uXXXX]
+    surrogate pairs combine into one astral scalar (4-byte UTF-8); bare
+    [NaN]/[Infinity] tokens are rejected as RFC 8259 requires. *)
 
 type t =
   | Null

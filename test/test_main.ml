@@ -6,4 +6,4 @@ let () =
    @ Test_baselines.suite @ Test_substrate.suite @ Test_eval.suite
    @ Test_arm.suite @ Test_edge.suite @ Test_cfg.suite @ Test_telemetry.suite
    @ Test_robust.suite @ Test_provenance.suite @ Test_prescan.suite
-   @ Test_observability.suite @ Test_scheduler.suite)
+   @ Test_observability.suite @ Test_scheduler.suite @ Test_obs.suite)

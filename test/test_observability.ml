@@ -739,6 +739,86 @@ let test_bench_history () =
     [ None; Some 1.0; Some 2.0 ]
     (means "gamma")
 
+(* ------------------------------------------------------------------ *)
+(* top-slow under shedding                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fake_profile ?(status = "ok") ~total name =
+  {
+    Harness.p_suite = "s";
+    p_program = name;
+    p_config = "c";
+    p_arch = "x64";
+    p_digest = Harness.content_digest name;
+    p_text_bytes = 0;
+    p_insns = 0;
+    p_resyncs = 0;
+    p_truth = 0;
+    p_diags = 0;
+    p_attempts = 1;
+    p_status = status;
+    p_total_ms = total;
+    p_phases = [];
+  }
+
+let fake_results profiles =
+  {
+    Harness.table1 = Cet_eval.Tables.Table1.create ();
+    fig3 = Cet_eval.Tables.Fig3.create ();
+    table2 = Cet_eval.Tables.Table2.create ();
+    table3 = Cet_eval.Tables.Table3.create ();
+    triage = Cet_eval.Tables.Triage.create ();
+    binaries = List.length profiles;
+    functions = 0;
+    failures = [];
+    profiles;
+  }
+
+(* A shed row's clock measured the cheap anchored-only analysis, not the
+   real evaluation; ranking it among full evaluations used to present
+   the cut corner as speed (or worse, as slowness to chase).  Shed rows
+   are excluded from the ranking and counted on their own line. *)
+let test_top_slow_excludes_shed () =
+  let r =
+    fake_results
+      [
+        fake_profile ~total:5.0 "tortoise";
+        fake_profile ~total:1.0 "hare";
+        fake_profile ~status:"shed" ~total:9.0 "cut-corner";
+      ]
+  in
+  check Alcotest.(list string) "shed never ranked"
+    [ "tortoise"; "hare" ]
+    (List.map (fun p -> p.Harness.p_program) (Harness.top_slow r 3));
+  let rendered = Harness.render_top_slow r 3 in
+  check Alcotest.bool "ranked rows shown" true (contains rendered "tortoise");
+  check Alcotest.bool "shed row not in table" false (contains rendered "cut-corner");
+  check Alcotest.bool "shed rows counted distinctly" true (contains rendered "1 shed")
+
+(* ------------------------------------------------------------------ *)
+(* cet_run_info                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_openmetrics_run_info () =
+  with_clean (fun () ->
+      Registry.enable ();
+      check Alcotest.string "backslash, quote, newline escaped"
+        "a\\\\b\\\"c\\nd"
+        (Report.openmetrics_label_escape "a\\b\"c\nd");
+      let body =
+        read_back
+          (Report.write_openmetrics
+             ~info:[ ("digest", "abc123"); ("seed", "2022") ])
+      in
+      check Alcotest.bool "info gauge emitted" true
+        (contains body "# TYPE cet_run_info gauge");
+      check Alcotest.bool "labels in given order" true
+        (contains body "cet_run_info{digest=\"abc123\",seed=\"2022\"} 1");
+      (* Without run identity the family is omitted entirely — no empty
+         label set, no unlabeled constant. *)
+      let bare = read_back Report.write_openmetrics in
+      check Alcotest.bool "absent without info" false (contains bare "cet_run_info"))
+
 let suite =
   [
     ( "observability",
@@ -761,6 +841,10 @@ let suite =
         Alcotest.test_case "progress: ewma" `Quick test_ewma;
         Alcotest.test_case "openmetrics: grammar round-trip" `Quick
           test_openmetrics_grammar;
+        Alcotest.test_case "openmetrics: cet_run_info labels" `Quick
+          test_openmetrics_run_info;
+        Alcotest.test_case "top-slow: shed rows excluded" `Quick
+          test_top_slow_excludes_shed;
         Alcotest.test_case "trace: journal instants" `Quick test_trace_instants;
         Alcotest.test_case "hist: bucket edges" `Quick test_hist_bucket_edges;
         QCheck_alcotest.to_alcotest qcheck_merge_commutative;

@@ -393,8 +393,102 @@ let test_bench_rows_diff_missing () =
   check Alcotest.int "regressed" 1 report.Bench_rows.regressed;
   check Alcotest.int "compared" 1 (List.length report.Bench_rows.compared)
 
+(* ------------------------------------------------------------------ *)
+(* Jsonl reader edge cases                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Jz = Cet_util.Jsonl
+
+let jz_ok s =
+  match Jz.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let jz_err s =
+  match Jz.parse s with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  | Error e -> e
+
+let test_jsonl_surrogate_pair () =
+  (* RFC 8259 spells astral codepoints as a UTF-16 surrogate pair of two
+     \u escapes; the reader must fuse them into one 4-byte scalar. *)
+  check Alcotest.string "U+1F600" "\xf0\x9f\x98\x80"
+    (Option.get (Jz.str (jz_ok {|"\uD83D\uDE00"|})));
+  (* A pair split by anything isn't a pair: each escape stands alone. *)
+  check Alcotest.string "interrupted pair" "\xed\xa0\xbdx\xed\xb8\x80"
+    (Option.get (Jz.str (jz_ok {|"\uD83Dx\uDE00"|})))
+
+let test_jsonl_lone_surrogate_lenient () =
+  (* No conforming writer emits a lone surrogate; reading one is lenient
+     WTF-8 (3-byte form), not a parse error. *)
+  check Alcotest.string "lone high" "\xed\xa0\xbd"
+    (Option.get (Jz.str (jz_ok {|"\uD83D"|})));
+  check Alcotest.string "lone low" "\xed\xb8\x80"
+    (Option.get (Jz.str (jz_ok {|"\uDE00"|})))
+
+let test_jsonl_deep_nesting () =
+  let depth = 256 in
+  let doc = String.make depth '[' ^ "1" ^ String.make depth ']' in
+  let rec unwrap n v =
+    if n = 0 then v
+    else
+      match Jz.list v with
+      | Some [ inner ] -> unwrap (n - 1) inner
+      | _ -> Alcotest.failf "level %d is not a singleton array" (depth - n)
+  in
+  check (Alcotest.float 0.0) "innermost" 1.0
+    (Option.get (Jz.num (unwrap depth (jz_ok doc))))
+
+let test_jsonl_rejects_nonfinite () =
+  (* RFC 8259 has no NaN/Infinity tokens; accepting them would let a
+     damaged report round-trip as numbers that poison every aggregate. *)
+  List.iter
+    (fun s -> ignore (jz_err s))
+    [ "NaN"; "Infinity"; "-Infinity"; {|{"total_ms":NaN}|} ]
+
+let test_jsonl_trailing_garbage_offset () =
+  (* The error pinpoints the first offending byte so a truncated or
+     concatenated line is findable in a multi-megabyte report. *)
+  check Alcotest.string "offset" "byte 8: trailing input" (jz_err {|{"a":1} x|});
+  match Jz.parse_lines "{\"ok\":1}\n{\"bad\"\n{\"ok\":2}" with
+  | Ok _ -> Alcotest.fail "bad line accepted"
+  | Error e ->
+    check Alcotest.bool "line number" true
+      (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+
+(* ------------------------------------------------------------------ *)
+(* Bench history geomean                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_rows_geomean () =
+  let row name mean_ns = { Bench_rows.name; mean_ns; runs = 1 } in
+  (* 2x and 0.5x cancel in log space: geomean exactly 1. *)
+  (match
+     Bench_rows.geomean_ratio
+       [ row "a" 100.0; row "b" 100.0; row "only-old" 1.0 ]
+       [ row "a" 200.0; row "b" 50.0; row "only-new" 1.0 ]
+   with
+  | Some (g, n) ->
+    check Alcotest.int "shared rows" 2 n;
+    check (Alcotest.float 1e-9) "geomean" 1.0 g
+  | None -> Alcotest.fail "expected a geomean");
+  check Alcotest.bool "no shared rows" true
+    (Bench_rows.geomean_ratio [ row "a" 1.0 ] [ row "b" 1.0 ] = None)
+
 let suite =
   [
+    ( "util.jsonl",
+      [
+        Alcotest.test_case "surrogate pairs combine" `Quick
+          test_jsonl_surrogate_pair;
+        Alcotest.test_case "lone surrogate lenient" `Quick
+          test_jsonl_lone_surrogate_lenient;
+        Alcotest.test_case "deep array nesting" `Quick test_jsonl_deep_nesting;
+        Alcotest.test_case "NaN/Infinity rejected" `Quick
+          test_jsonl_rejects_nonfinite;
+        Alcotest.test_case "trailing garbage offset" `Quick
+          test_jsonl_trailing_garbage_offset;
+      ] );
     ( "util.bench_rows",
       [
         Alcotest.test_case "plain row" `Quick test_bench_rows_plain;
@@ -404,6 +498,7 @@ let suite =
         Alcotest.test_case "duplicates keep first" `Quick test_bench_rows_dups;
         Alcotest.test_case "diff reports missing benches" `Quick
           test_bench_rows_diff_missing;
+        Alcotest.test_case "history geomean" `Quick test_bench_rows_geomean;
       ] );
     ( "util.domain_pool",
       [
